@@ -1,0 +1,381 @@
+//! The controlled-mobile-element (CME) baseline.
+//!
+//! Following Jea, Somasundara & Srivastava's *data mules on fixed tracks*:
+//! the collector shuttles along parallel horizontal tracks spanning the
+//! field (boustrophedon: along one track, across the border, back along
+//! the next), starting from and returning to the sink. Sensors within
+//! radio range of the moving collector's path act as **upload nodes**; all
+//! other sensors forward their packets to the nearest upload node via
+//! multi-hop relays — with *no bound* on the relay hop count, the
+//! characteristic weakness the polling-based scheme fixes.
+
+use mdg_geom::{open_path_length, Point, Segment};
+use mdg_net::{Csr, Network, UNREACHABLE};
+use mdg_sim::{MobileScenario, Stop, Upload};
+use std::collections::VecDeque;
+
+/// One sensor's packet journey in the CME scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmeUpload {
+    /// Originating sensor.
+    pub source: usize,
+    /// Relay chain from source to the track-adjacent upload node
+    /// (inclusive).
+    pub relay_path: Vec<usize>,
+    /// Collector pause position: the point of the track path nearest the
+    /// upload node.
+    pub stop_pos: Point,
+    /// Arc-length of `stop_pos` along the path (used to order stops).
+    pub stop_arclen: f64,
+}
+
+/// A complete CME plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmePlan {
+    /// The full collector path: sink → tracks (boustrophedon) → sink.
+    pub path: Vec<Point>,
+    /// Open-path length of `path` (the collector's travel per round).
+    pub path_length: f64,
+    /// Deliverable packets.
+    pub uploads: Vec<CmeUpload>,
+    /// Sensors with no multi-hop route to any upload node (their data is
+    /// never collected — CME offers no recourse).
+    pub undeliverable: Vec<usize>,
+}
+
+impl CmePlan {
+    /// Mean relay hop count over deliverable packets (0 hops = the sensor
+    /// is itself an upload node).
+    pub fn mean_relay_hops(&self) -> f64 {
+        if self.uploads.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.uploads.iter().map(|u| u.relay_path.len() - 1).sum();
+        total as f64 / self.uploads.len() as f64
+    }
+
+    /// Fraction of sensors whose data is collected.
+    pub fn coverage(&self, n_sensors: usize) -> f64 {
+        if n_sensors == 0 {
+            1.0
+        } else {
+            self.uploads.len() as f64 / n_sensors as f64
+        }
+    }
+}
+
+/// Evenly spaced horizontal track y-coordinates: 1 track through the
+/// middle; ≥ 2 tracks span from the bottom to the top border.
+fn track_ys(net: &Network, n_tracks: usize) -> Vec<f64> {
+    let field = &net.deployment.field;
+    if n_tracks == 1 {
+        return vec![field.center().y];
+    }
+    let step = field.height() / (n_tracks - 1) as f64;
+    (0..n_tracks)
+        .map(|i| field.min.y + i as f64 * step)
+        .collect()
+}
+
+/// Builds the boustrophedon path through the tracks, anchored at the sink.
+fn build_path(net: &Network, ys: &[f64]) -> Vec<Point> {
+    let field = &net.deployment.field;
+    let sink = net.deployment.sink;
+    let mut path = vec![sink];
+    let mut left_to_right = true;
+    for &y in ys {
+        let (start_x, end_x) = if left_to_right {
+            (field.min.x, field.max.x)
+        } else {
+            (field.max.x, field.min.x)
+        };
+        path.push(Point::new(start_x, y));
+        path.push(Point::new(end_x, y));
+        left_to_right = !left_to_right;
+    }
+    path.push(sink);
+    path
+}
+
+/// Multi-source BFS with parent pointers over the sensor graph.
+fn relay_forest(g: &Csr, sources: &[usize]) -> (Vec<u32>, Vec<u32>) {
+    let mut hops = vec![UNREACHABLE; g.n()];
+    let mut parent = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if hops[s] != 0 {
+            hops[s] = 0;
+            queue.push_back(s as u32);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let hu = hops[u as usize];
+        for &v in g.neighbors(u as usize) {
+            if hops[v as usize] == UNREACHABLE {
+                hops[v as usize] = hu + 1;
+                parent[v as usize] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    (hops, parent)
+}
+
+/// Closest point on the open polyline `path` to `p`; returns the point and
+/// its arc-length from the path start.
+fn closest_on_path(path: &[Point], p: Point) -> (Point, f64) {
+    let mut best = (path[0], 0.0);
+    let mut best_d = f64::INFINITY;
+    let mut arclen = 0.0;
+    for w in path.windows(2) {
+        let seg = Segment::new(w[0], w[1]);
+        let t = seg.closest_t(p);
+        let q = seg.a.lerp(seg.b, t);
+        let d = q.dist_sq(p);
+        if d < best_d {
+            best_d = d;
+            best = (q, arclen + t * seg.length());
+        }
+        arclen += seg.length();
+    }
+    best
+}
+
+/// Plans the CME scheme with `n_tracks` parallel tracks.
+///
+/// # Panics
+/// Panics if `n_tracks == 0`.
+pub fn plan_cme(net: &Network, n_tracks: usize) -> CmePlan {
+    assert!(n_tracks > 0, "need at least one track");
+    let ys = track_ys(net, n_tracks);
+    let path = build_path(net, &ys);
+    let path_length = open_path_length(&path);
+    let sensors = &net.deployment.sensors;
+
+    // Upload nodes: within radio range of the path.
+    let upload_nodes: Vec<usize> = sensors
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| {
+            path.windows(2)
+                .any(|w| Segment::new(w[0], w[1]).dist_to_point(p) <= net.range)
+        })
+        .map(|(i, _)| i)
+        .collect();
+
+    let (hops, parent) = relay_forest(&net.sensor_graph, &upload_nodes);
+    let mut uploads = Vec::new();
+    let mut undeliverable = Vec::new();
+    for s in 0..sensors.len() {
+        if hops[s] == UNREACHABLE {
+            undeliverable.push(s);
+            continue;
+        }
+        // Walk the parent chain from s to its upload node.
+        let mut relay_path = vec![s];
+        let mut cur = s;
+        while hops[cur] != 0 {
+            cur = parent[cur] as usize;
+            relay_path.push(cur);
+        }
+        let uploader = *relay_path.last().unwrap();
+        let (stop_pos, stop_arclen) = closest_on_path(&path, sensors[uploader]);
+        uploads.push(CmeUpload {
+            source: s,
+            relay_path,
+            stop_pos,
+            stop_arclen,
+        });
+    }
+    CmePlan {
+        path,
+        path_length,
+        uploads,
+        undeliverable,
+    }
+}
+
+/// Converts a CME plan into a [`MobileScenario`] for discrete-event
+/// simulation: the collector's stops are the path vertices plus every
+/// upload position, in arc-length order, so the simulated trajectory is
+/// exactly the track path.
+pub fn cme_scenario(plan: &CmePlan, net: &Network) -> MobileScenario {
+    // Collect (arclen, pos, uploads-at-this-stop).
+    let mut stops: Vec<(f64, Point, Vec<Upload>)> = Vec::new();
+    // Path vertices as zero-upload stops (skip the leading/trailing sink).
+    let mut arclen = 0.0;
+    for (i, w) in plan.path.windows(2).enumerate() {
+        arclen += w[0].dist(w[1]);
+        if i + 2 < plan.path.len() {
+            // w[1] is an interior vertex.
+            stops.push((arclen, w[1], Vec::new()));
+        }
+    }
+    for u in &plan.uploads {
+        stops.push((
+            u.stop_arclen,
+            u.stop_pos,
+            vec![Upload {
+                source: u.source,
+                relay_path: u.relay_path.clone(),
+            }],
+        ));
+    }
+    stops.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    // Merge stops at (numerically) the same arc-length.
+    let mut merged: Vec<Stop> = Vec::new();
+    let mut last_arclen = f64::NEG_INFINITY;
+    for (a, pos, ups) in stops {
+        if (a - last_arclen).abs() < 1e-9 {
+            merged.last_mut().unwrap().uploads.extend(ups);
+        } else {
+            merged.push(Stop { pos, uploads: ups });
+            last_arclen = a;
+        }
+    }
+    MobileScenario {
+        sensors: net.deployment.sensors.clone(),
+        sink: net.deployment.sink,
+        stops: merged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdg_net::DeploymentConfig;
+    use mdg_sim::{MobileGatheringSim, SimConfig};
+
+    fn net(n: usize, side: f64, range: f64, seed: u64) -> Network {
+        Network::build(DeploymentConfig::uniform(n, side).generate(seed), range)
+    }
+
+    #[test]
+    fn path_is_boustrophedon() {
+        let net = net(10, 200.0, 30.0, 1);
+        let plan = plan_cme(&net, 3);
+        // Path: sink + 3 tracks × 2 endpoints + sink.
+        assert_eq!(plan.path.len(), 8);
+        assert_eq!(plan.path[0], net.deployment.sink);
+        assert_eq!(*plan.path.last().unwrap(), net.deployment.sink);
+        // Tracks at y = 0, 100, 200.
+        assert_eq!(plan.path[1].y, 0.0);
+        assert_eq!(plan.path[3].y, 100.0);
+        assert_eq!(plan.path[5].y, 200.0);
+        // Track length is at least 3 × 200 m.
+        assert!(plan.path_length >= 600.0);
+    }
+
+    #[test]
+    fn single_track_through_center() {
+        let net = net(10, 200.0, 30.0, 2);
+        let plan = plan_cme(&net, 1);
+        assert_eq!(plan.path[1].y, 100.0);
+        assert_eq!(plan.path[2].y, 100.0);
+    }
+
+    #[test]
+    fn path_length_is_constant_in_n() {
+        // The CME tour does not depend on the sensor count — the flat line
+        // in the tour-length-vs-N figure.
+        let a = plan_cme(&net(50, 200.0, 30.0, 3), 3);
+        let b = plan_cme(&net(500, 200.0, 30.0, 4), 3);
+        assert!((a.path_length - b.path_length).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relay_paths_are_valid_walks() {
+        let net = net(200, 200.0, 30.0, 5);
+        let plan = plan_cme(&net, 3);
+        for u in &plan.uploads {
+            assert_eq!(u.relay_path[0], u.source);
+            for w in u.relay_path.windows(2) {
+                assert!(
+                    net.sensor_graph.has_edge(w[0], w[1]),
+                    "relay hop {}→{} is not an edge",
+                    w[0],
+                    w[1]
+                );
+            }
+            // The uploader is within range of its stop.
+            let uploader = *u.relay_path.last().unwrap();
+            assert!(net.deployment.sensors[uploader].dist(u.stop_pos) <= net.range + 1e-9);
+        }
+        // Coverage + undeliverable partitions the sensors.
+        assert_eq!(
+            plan.uploads.len() + plan.undeliverable.len(),
+            net.n_sensors()
+        );
+    }
+
+    #[test]
+    fn unbounded_relays_exceed_shdg_hops() {
+        // With 3 tracks on a 300 m field, mid-gap sensors need multiple
+        // relay hops; SHDG always uses exactly 0 relay hops (single-hop).
+        let net = net(300, 300.0, 30.0, 7);
+        let plan = plan_cme(&net, 3);
+        assert!(
+            plan.mean_relay_hops() > 0.2,
+            "got {}",
+            plan.mean_relay_hops()
+        );
+    }
+
+    #[test]
+    fn scenario_simulates_with_correct_travel_time() {
+        let net = net(100, 200.0, 30.0, 9);
+        let plan = plan_cme(&net, 3);
+        let scen = cme_scenario(&plan, &net);
+        scen.validate().unwrap();
+        let cfg = SimConfig {
+            upload_secs: 0.0,
+            hop_secs: 0.0,
+            ..SimConfig::default()
+        };
+        let sim = MobileGatheringSim::new(scen, cfg);
+        let r = sim.run();
+        // With zero pauses, the round lasts exactly the path time… except
+        // the simulator closes the loop stop→sink, which the path already
+        // ends at. Stops all lie on the path, so durations match.
+        assert!(
+            (r.duration_secs - plan.path_length).abs() < 1e-6,
+            "sim {} vs path {}",
+            r.duration_secs,
+            plan.path_length
+        );
+        assert_eq!(r.packets_delivered, plan.uploads.len());
+        assert_eq!(
+            r.packets_expected,
+            plan.uploads.len() + plan.undeliverable.len()
+        );
+    }
+
+    #[test]
+    fn isolated_sensor_is_undeliverable() {
+        use mdg_net::{Deployment, Network};
+        let dep = Deployment {
+            sensors: vec![Point::new(100.0, 100.0), Point::new(100.0, 55.0)],
+            sink: Point::new(100.0, 0.0),
+            field: mdg_geom::Aabb::square(200.0),
+        };
+        // One track at y = 100 covers the first sensor; the second sits
+        // 45 m from both the track and the other sensor at R = 20.
+        let net = Network::build(dep, 20.0);
+        let plan = plan_cme(&net, 1);
+        assert_eq!(plan.uploads.len(), 1);
+        assert_eq!(plan.undeliverable, vec![1]);
+        assert!((plan.coverage(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_network_cme() {
+        let net = net(0, 100.0, 20.0, 0);
+        let plan = plan_cme(&net, 2);
+        assert!(plan.uploads.is_empty());
+        assert!(plan.undeliverable.is_empty());
+        assert_eq!(plan.mean_relay_hops(), 0.0);
+        assert_eq!(plan.coverage(0), 1.0);
+        let scen = cme_scenario(&plan, &net);
+        scen.validate().unwrap();
+    }
+}

@@ -1,0 +1,92 @@
+//! The direct-transmission baseline.
+//!
+//! Every sensor transmits its packet straight to the static sink in one
+//! hop, however far away it is. With `E_tx ∝ d^α` this is catastrophic for
+//! peripheral sensors — the scheme exists as the protocol-free reference
+//! point in the energy tables, and to show why relaying (or a mobile
+//! collector) is needed at all.
+
+use mdg_energy::{EnergyLedger, RadioModel};
+use mdg_net::Network;
+use serde::{Deserialize, Serialize};
+
+/// Per-round energy metrics of direct transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DirectMetrics {
+    /// Total joules per round across all sensors.
+    pub total_joules: f64,
+    /// Highest single-sensor expenditure per round.
+    pub max_joules: f64,
+    /// Jain fairness of the per-sensor expenditure.
+    pub fairness: f64,
+    /// Transmissions per round (= number of sensors).
+    pub transmissions_per_round: u64,
+}
+
+impl DirectMetrics {
+    /// Computes the metrics, and the per-node ledger, for one round of
+    /// direct transmission under `radio`.
+    pub fn of(net: &Network, radio: RadioModel) -> (DirectMetrics, EnergyLedger) {
+        let mut ledger = EnergyLedger::new(net.n_sensors(), radio);
+        for (s, &pos) in net.deployment.sensors.iter().enumerate() {
+            ledger.record_tx(s, pos.dist(net.deployment.sink));
+        }
+        let metrics = DirectMetrics {
+            total_joules: ledger.total_joules(),
+            max_joules: ledger.joules_per_node().iter().copied().fold(0.0, f64::max),
+            fairness: ledger.fairness(),
+            transmissions_per_round: ledger.total_tx(),
+        };
+        (metrics, ledger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdg_geom::Point;
+    use mdg_net::{Deployment, DeploymentConfig};
+
+    #[test]
+    fn energy_grows_with_distance() {
+        let dep = Deployment {
+            sensors: vec![Point::new(10.0, 0.0), Point::new(100.0, 0.0)],
+            sink: Point::ORIGIN,
+            field: mdg_geom::Aabb::square(120.0),
+        };
+        let net = Network::build(dep, 30.0);
+        let radio = RadioModel::default();
+        let (m, ledger) = DirectMetrics::of(&net, radio);
+        assert_eq!(m.transmissions_per_round, 2);
+        assert!(ledger.joules_of(1) > ledger.joules_of(0));
+        assert!((ledger.joules_of(0) - radio.tx_cost(10.0)).abs() < 1e-18);
+        assert!((ledger.joules_of(1) - radio.tx_cost(100.0)).abs() < 1e-18);
+        assert!(m.fairness < 1.0);
+        assert!((m.total_joules - (radio.tx_cost(10.0) + radio.tx_cost(100.0))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn direct_spends_more_than_single_hop_mobile() {
+        // The core energy claim: short uploads to a nearby collector cost
+        // far less than long sprays at the sink.
+        let net = Network::build(DeploymentConfig::uniform(100, 300.0).generate(4), 30.0);
+        let radio = RadioModel::default();
+        let (direct, _) = DirectMetrics::of(&net, radio);
+        // SHDG upper bound: every sensor transmits once over ≤ range.
+        let shdg_upper = net.n_sensors() as f64 * radio.tx_cost(net.range);
+        assert!(direct.total_joules > shdg_upper);
+    }
+
+    #[test]
+    fn empty_network() {
+        let dep = Deployment {
+            sensors: vec![],
+            sink: Point::ORIGIN,
+            field: mdg_geom::Aabb::square(10.0),
+        };
+        let (m, _) = DirectMetrics::of(&Network::build(dep, 10.0), RadioModel::default());
+        assert_eq!(m.total_joules, 0.0);
+        assert_eq!(m.transmissions_per_round, 0);
+        assert_eq!(m.fairness, 1.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # mdg-baselines — the comparison schemes of the evaluation
+//!
+//! Every scheme the paper's simulations compare against, implemented over
+//! the same substrates as the SHDG planner so that the experiment harness
+//! replays identical topologies through all of them:
+//!
+//! * [`visit_all`] — the no-aggregation extreme: the collector visits
+//!   every single sensor position (maximum energy saving, longest tour).
+//! * [`multihop`] — the no-mobility extreme: classic min-hop relay routing
+//!   to the static sink (shortest latency, highest and least uniform
+//!   energy).
+//! * [`cme`] — the *controlled mobile element* scheme (Jea, Somasundara &
+//!   Srivastava): the collector shuttles along fixed parallel tracks;
+//!   sensors relay packets multi-hop to track-adjacent sensors which
+//!   upload as the collector passes.
+//! * [`direct`] — every sensor transmits straight to the sink regardless
+//!   of distance (the naive lower bound on protocol complexity).
+//! * [`mule`] — the uncontrolled-mobility data-MULE: a random-waypoint
+//!   walker that collects opportunistically (probabilistic coverage,
+//!   unbounded latency).
+
+pub mod cme;
+pub mod direct;
+pub mod mule;
+pub mod multihop;
+pub mod visit_all;
+
+pub use cme::{plan_cme, CmePlan};
+pub use direct::DirectMetrics;
+pub use mule::{random_waypoint_walk, MuleWalk};
+pub use multihop::MultihopMetrics;
+pub use visit_all::visit_all_plan;

@@ -1,0 +1,225 @@
+//! The uncontrolled-mobility data-MULE baseline.
+//!
+//! The earliest mobile data-gathering proposals (Shah et al.'s *data
+//! MULEs*) used opportunistic carriers with **random** motion: sensors
+//! upload whenever a mule happens to wander within radio range. The model
+//! here is the standard random-waypoint walk: the mule starts at the sink
+//! and repeatedly drives straight to a uniformly random waypoint in the
+//! field. The scheme needs no planning at all — the price is that coverage
+//! is probabilistic and per-sensor contact latency is unbounded, which is
+//! exactly the gap controlled-mobility schemes (SHDG) close.
+
+use mdg_geom::{open_path_length, Point, Segment};
+use mdg_net::Network;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random-waypoint mule walk with per-sensor first-contact times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MuleWalk {
+    /// The walk's waypoints, starting at the sink.
+    pub waypoints: Vec<Point>,
+    /// Total walk length in meters.
+    pub path_length: f64,
+    /// Mule speed in m/s.
+    pub speed_mps: f64,
+    /// `first_contact[s]` = seconds until the mule first comes within
+    /// radio range of sensor `s` (`None` if never during the walk).
+    pub first_contact: Vec<Option<f64>>,
+}
+
+impl MuleWalk {
+    /// Walk duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.path_length / self.speed_mps
+    }
+
+    /// Fraction of sensors contacted at least once.
+    pub fn coverage(&self) -> f64 {
+        if self.first_contact.is_empty() {
+            return 1.0;
+        }
+        self.first_contact.iter().filter(|c| c.is_some()).count() as f64
+            / self.first_contact.len() as f64
+    }
+
+    /// Mean first-contact latency over *contacted* sensors (0 if none).
+    pub fn mean_contact_latency(&self) -> f64 {
+        let contacted: Vec<f64> = self.first_contact.iter().filter_map(|&c| c).collect();
+        if contacted.is_empty() {
+            0.0
+        } else {
+            contacted.iter().sum::<f64>() / contacted.len() as f64
+        }
+    }
+}
+
+/// Simulates a random-waypoint mule for `duration_secs` at `speed_mps`,
+/// seeded deterministically. The walk starts at the sink and waypoints are
+/// uniform over the field.
+///
+/// # Panics
+/// Panics on non-positive speed or duration.
+pub fn random_waypoint_walk(
+    net: &Network,
+    speed_mps: f64,
+    duration_secs: f64,
+    seed: u64,
+) -> MuleWalk {
+    assert!(speed_mps > 0.0, "mule speed must be positive");
+    assert!(duration_secs > 0.0, "duration must be positive");
+    let field = &net.deployment.field;
+    let budget = speed_mps * duration_secs;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut waypoints = vec![net.deployment.sink];
+    let mut length = 0.0;
+    while length < budget {
+        let next = Point::new(
+            rng.gen_range(field.min.x..=field.max.x),
+            rng.gen_range(field.min.y..=field.max.y),
+        );
+        length += waypoints.last().unwrap().dist(next);
+        waypoints.push(next);
+    }
+    // Trim the final leg so the walk is exactly `budget` meters.
+    let overshoot = length - budget;
+    if overshoot > 0.0 {
+        let last = *waypoints.last().unwrap();
+        let prev = waypoints[waypoints.len() - 2];
+        let leg = prev.dist(last);
+        *waypoints.last_mut().unwrap() = prev.lerp(last, (leg - overshoot) / leg.max(1e-12));
+    }
+    let path_length = open_path_length(&waypoints);
+
+    // First contact per sensor: scan legs in order, solving the moving
+    // point / disk entry time on each.
+    let mut first_contact = vec![None; net.n_sensors()];
+    let mut elapsed = 0.0;
+    for w in waypoints.windows(2) {
+        let seg = Segment::new(w[0], w[1]);
+        let leg_len = seg.length();
+        for (s, &pos) in net.deployment.sensors.iter().enumerate() {
+            if first_contact[s].is_some() {
+                continue;
+            }
+            if let Some(t) = seg.first_param_within(pos, net.range) {
+                first_contact[s] = Some(elapsed + t * leg_len / speed_mps);
+            }
+        }
+        elapsed += leg_len / speed_mps;
+    }
+    MuleWalk {
+        waypoints,
+        path_length,
+        speed_mps,
+        first_contact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdg_net::DeploymentConfig;
+
+    fn net(n: usize, seed: u64) -> Network {
+        Network::build(DeploymentConfig::uniform(n, 200.0).generate(seed), 30.0)
+    }
+
+    #[test]
+    fn walk_is_deterministic_and_length_exact() {
+        let net = net(50, 1);
+        let a = random_waypoint_walk(&net, 1.0, 600.0, 9);
+        let b = random_waypoint_walk(&net, 1.0, 600.0, 9);
+        assert_eq!(a, b);
+        assert!(
+            (a.path_length - 600.0).abs() < 1e-6,
+            "got {}",
+            a.path_length
+        );
+        assert!((a.duration() - 600.0).abs() < 1e-6);
+        let c = random_waypoint_walk(&net, 1.0, 600.0, 10);
+        assert_ne!(a.waypoints, c.waypoints, "different seeds walk differently");
+    }
+
+    #[test]
+    fn waypoints_stay_in_field() {
+        let net = net(10, 2);
+        let walk = random_waypoint_walk(&net, 1.0, 2000.0, 3);
+        for w in &walk.waypoints {
+            assert!(net.deployment.field.contains(*w), "{w} escaped the field");
+        }
+        assert_eq!(walk.waypoints[0], net.deployment.sink);
+    }
+
+    #[test]
+    fn first_contacts_are_consistent() {
+        let net = net(80, 4);
+        let walk = random_waypoint_walk(&net, 1.0, 1500.0, 5);
+        for (s, &c) in walk.first_contact.iter().enumerate() {
+            if let Some(t) = c {
+                assert!(
+                    (0.0..=walk.duration() + 1e-6).contains(&t),
+                    "sensor {s}: t={t}"
+                );
+                // The mule really is within range at that instant: walk the
+                // legs to find the position.
+                let pos = position_at(&walk, t);
+                assert!(
+                    pos.dist(net.deployment.sensors[s]) <= net.range + 1e-6,
+                    "sensor {s} contact at {t}: {pos} is {} m away",
+                    pos.dist(net.deployment.sensors[s])
+                );
+            }
+        }
+        // Sensors within range of the sink are contacted at t = 0.
+        for s in net.sensors_within_range_of(net.deployment.sink) {
+            assert_eq!(walk.first_contact[s as usize], Some(0.0));
+        }
+    }
+
+    fn position_at(walk: &MuleWalk, t: f64) -> Point {
+        let mut remaining = t * walk.speed_mps;
+        for w in walk.waypoints.windows(2) {
+            let leg = w[0].dist(w[1]);
+            if remaining <= leg {
+                return w[0].lerp(w[1], remaining / leg.max(1e-12));
+            }
+            remaining -= leg;
+        }
+        *walk.waypoints.last().unwrap()
+    }
+
+    #[test]
+    fn coverage_grows_with_duration() {
+        let net = net(150, 6);
+        let short = random_waypoint_walk(&net, 1.0, 200.0, 7);
+        let long = random_waypoint_walk(&net, 1.0, 5000.0, 7);
+        assert!(long.coverage() >= short.coverage());
+        assert!(
+            long.coverage() > 0.8,
+            "a 5 km walk should contact most of a 200 m field"
+        );
+    }
+
+    #[test]
+    fn random_walk_needs_far_longer_than_a_planned_tour() {
+        // The controlled-vs-uncontrolled headline: to contact ~all sensors
+        // the random mule travels several times the planned SHDG tour.
+        let net = net(150, 8);
+        let plan = mdg_core::ShdgPlanner::new().plan(&net).unwrap();
+        // Give the mule exactly the SHDG tour budget.
+        let walk = random_waypoint_walk(&net, 1.0, plan.tour_length, 11);
+        assert!(
+            walk.coverage() < 0.999,
+            "a random walk of tour length should (almost surely) miss sensors"
+        );
+    }
+
+    #[test]
+    fn empty_network_walk() {
+        let net = net(0, 9);
+        let walk = random_waypoint_walk(&net, 1.0, 100.0, 1);
+        assert_eq!(walk.coverage(), 1.0);
+        assert_eq!(walk.mean_contact_latency(), 0.0);
+    }
+}

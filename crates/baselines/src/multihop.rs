@@ -1,0 +1,115 @@
+//! Analytic metrics of the multi-hop static-sink routing baseline.
+//!
+//! The round-level *simulation* of this scheme lives in
+//! [`mdg_sim::MultihopRoutingSim`]; this module computes the closed-form
+//! per-round quantities the tables report (hop counts, transmissions,
+//! reachability) directly from the min-hop tree.
+
+use mdg_net::{bfs_tree, Network, UNREACHABLE};
+use serde::{Deserialize, Serialize};
+
+/// Structural metrics of min-hop routing to the sink with all sensors
+/// alive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultihopMetrics {
+    /// Sensors with a route to the sink.
+    pub reachable: usize,
+    /// Sensors with no route (disconnected from the sink).
+    pub unreachable: usize,
+    /// Mean hop count over reachable sensors.
+    pub mean_hops: f64,
+    /// Maximum hop count (tree depth).
+    pub max_hops: u32,
+    /// Total transmissions for one packet from every reachable sensor
+    /// (= Σ hops): the paper's "number of transmissions per round".
+    pub transmissions_per_round: u64,
+}
+
+impl MultihopMetrics {
+    /// Computes the metrics for `net`.
+    pub fn of(net: &Network) -> MultihopMetrics {
+        let tree = bfs_tree(&net.full_graph, net.sink_node());
+        let mut reachable = 0usize;
+        let mut unreachable = 0usize;
+        let mut total_hops = 0u64;
+        for s in 0..net.n_sensors() {
+            match tree.hops[s] {
+                UNREACHABLE => unreachable += 1,
+                h => {
+                    reachable += 1;
+                    total_hops += h as u64;
+                }
+            }
+        }
+        MultihopMetrics {
+            reachable,
+            unreachable,
+            mean_hops: if reachable == 0 {
+                0.0
+            } else {
+                total_hops as f64 / reachable as f64
+            },
+            max_hops: (0..net.n_sensors())
+                .filter_map(|s| (tree.hops[s] != UNREACHABLE).then_some(tree.hops[s]))
+                .max()
+                .unwrap_or(0),
+            transmissions_per_round: total_hops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdg_geom::Point;
+    use mdg_net::{Deployment, DeploymentConfig};
+    use mdg_sim::{MultihopRoutingSim, SimConfig};
+
+    fn chain() -> Network {
+        let dep = Deployment {
+            sensors: vec![
+                Point::new(10.0, 0.0),
+                Point::new(20.0, 0.0),
+                Point::new(30.0, 0.0),
+                Point::new(300.0, 0.0), // disconnected
+            ],
+            sink: Point::ORIGIN,
+            field: mdg_geom::Aabb::square(400.0),
+        };
+        Network::build(dep, 12.0)
+    }
+
+    #[test]
+    fn chain_metrics() {
+        let m = MultihopMetrics::of(&chain());
+        assert_eq!(m.reachable, 3);
+        assert_eq!(m.unreachable, 1);
+        assert!((m.mean_hops - 2.0).abs() < 1e-12);
+        assert_eq!(m.max_hops, 3);
+        assert_eq!(m.transmissions_per_round, 6);
+    }
+
+    #[test]
+    fn metrics_agree_with_simulation() {
+        let net = Network::build(DeploymentConfig::uniform(120, 200.0).generate(5), 35.0);
+        let m = MultihopMetrics::of(&net);
+        let sim = MultihopRoutingSim::new(&net, SimConfig::default());
+        let r = sim.run();
+        assert_eq!(m.reachable, r.packets_delivered);
+        assert_eq!(m.transmissions_per_round, r.ledger.total_tx());
+        assert!((sim.mean_hops() - m.mean_hops).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_network_metrics() {
+        let dep = Deployment {
+            sensors: vec![],
+            sink: Point::ORIGIN,
+            field: mdg_geom::Aabb::square(10.0),
+        };
+        let m = MultihopMetrics::of(&Network::build(dep, 10.0));
+        assert_eq!(m.reachable, 0);
+        assert_eq!(m.mean_hops, 0.0);
+        assert_eq!(m.max_hops, 0);
+    }
+}

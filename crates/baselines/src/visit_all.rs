@@ -1,0 +1,105 @@
+//! The visit-every-sensor baseline.
+//!
+//! The maximum-energy-saving extreme of mobile collection: the collector
+//! drives to **each sensor's exact position**, so every upload happens over
+//! distance ~0. No covering is involved — the tour is a plain TSP over all
+//! sensor sites plus the sink. The paper's motivating example: on a 300 m
+//! field this tour is kilometers long, hence the polling-point idea.
+
+use mdg_core::{GatheringPlan, PollingPoint};
+use mdg_geom::Point;
+use mdg_net::Network;
+use mdg_tour::{plan_tour, MatrixCost};
+
+/// Plans the visit-all tour as a [`GatheringPlan`] in which every sensor is
+/// its own polling point. Uses the same TSP pipeline as the SHDG planner
+/// for a fair comparison.
+pub fn visit_all_plan(net: &Network) -> GatheringPlan {
+    let sensors = &net.deployment.sensors;
+    let sink = net.deployment.sink;
+    if sensors.is_empty() {
+        return GatheringPlan::new(sink, Vec::new(), Vec::new());
+    }
+    let mut pts: Vec<Point> = Vec::with_capacity(sensors.len() + 1);
+    pts.push(sink);
+    pts.extend_from_slice(sensors);
+    let cost = MatrixCost::from_points(&pts);
+    let tour = plan_tour(&cost);
+    let order = tour.order();
+    debug_assert_eq!(order[0], 0);
+    let polling_points: Vec<PollingPoint> = order[1..]
+        .iter()
+        .map(|&c| {
+            let sensor = c - 1;
+            PollingPoint {
+                pos: sensors[sensor],
+                candidate: sensor,
+                covered: vec![sensor as u32],
+            }
+        })
+        .collect();
+    // assignment[sensor] = position of that sensor in the tour order.
+    let mut assignment = vec![0usize; sensors.len()];
+    for (k, pp) in polling_points.iter().enumerate() {
+        assignment[pp.candidate] = k;
+    }
+    GatheringPlan::new(sink, polling_points, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdg_core::ShdgPlanner;
+    use mdg_net::DeploymentConfig;
+
+    fn net(n: usize, side: f64, range: f64, seed: u64) -> Network {
+        Network::build(DeploymentConfig::uniform(n, side).generate(seed), range)
+    }
+
+    #[test]
+    fn one_polling_point_per_sensor() {
+        let net = net(60, 150.0, 30.0, 1);
+        let plan = visit_all_plan(&net);
+        assert_eq!(plan.n_polling_points(), 60);
+        plan.validate(&net.deployment.sensors, net.range).unwrap();
+        // Upload distances are all zero.
+        let d = plan.upload_distances(&net.deployment.sensors);
+        assert!(d.iter().all(|&x| x < 1e-9));
+        assert_eq!(plan.max_sensors_per_pp(), 1);
+    }
+
+    #[test]
+    fn shdg_tour_is_shorter_on_dense_networks() {
+        // The paper's headline comparison: with a usable transmission
+        // range, polling points aggregate and the tour shrinks well below
+        // the visit-all tour.
+        for seed in 0..3 {
+            let net = net(200, 200.0, 30.0, seed);
+            let shdg = ShdgPlanner::new().plan(&net).unwrap();
+            let va = visit_all_plan(&net);
+            assert!(
+                shdg.tour_length < 0.8 * va.tour_length,
+                "seed {seed}: SHDG {} vs visit-all {}",
+                shdg.tour_length,
+                va.tour_length
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty = visit_all_plan(&net(0, 100.0, 20.0, 0));
+        assert_eq!(empty.n_polling_points(), 0);
+        let one = net(1, 100.0, 20.0, 0);
+        let plan = visit_all_plan(&one);
+        assert_eq!(plan.n_polling_points(), 1);
+        let d = one.deployment.sink.dist(one.deployment.sensors[0]);
+        assert!((plan.tour_length - 2.0 * d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let net = net(40, 120.0, 25.0, 9);
+        assert_eq!(visit_all_plan(&net), visit_all_plan(&net));
+    }
+}

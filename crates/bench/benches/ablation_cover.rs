@@ -1,0 +1,29 @@
+//! Bench for ablation A1: covering strategies.
+//! (`experiments a1` regenerates the ablation table.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdg_core::{tour_aware_cover, TourAwareConfig};
+use mdg_cover::{greedy_cover, CoverageInstance};
+use mdg_net::DeploymentConfig;
+
+fn bench(c: &mut Criterion) {
+    let dep = DeploymentConfig::uniform(300, 200.0).generate(42);
+    let inst = CoverageInstance::sensor_sites(&dep.sensors, 30.0);
+
+    let mut g = c.benchmark_group("a1_covering");
+    g.bench_function("greedy_cover", |b| {
+        b.iter(|| greedy_cover(&inst, |_| 0.0).unwrap().len())
+    });
+    g.bench_function("tour_aware_cover", |b| {
+        b.iter(|| {
+            tour_aware_cover(&inst, dep.sink, &TourAwareConfig::default())
+                .unwrap()
+                .selected
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Bench for ablation A2: tour constructors on a polling-point instance.
+//! (`experiments a2` regenerates the ablation table.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdg_core::ShdgPlanner;
+use mdg_net::{DeploymentConfig, Network};
+use mdg_tour::{
+    cheapest_insertion, christofides_like, greedy_edge, improve, mst_2approx, nearest_neighbor,
+    ImproveConfig, MatrixCost,
+};
+
+fn bench(c: &mut Criterion) {
+    let net = Network::build(DeploymentConfig::uniform(400, 300.0).generate(42), 30.0);
+    let plan = ShdgPlanner::new().plan(&net).unwrap();
+    let pts = plan.tour_positions();
+    let cost = MatrixCost::from_points(&pts);
+
+    let mut g = c.benchmark_group("a2_tsp");
+    g.bench_function("nearest_neighbor", |b| {
+        b.iter(|| nearest_neighbor(&cost).length(&cost))
+    });
+    g.bench_function("greedy_edge", |b| {
+        b.iter(|| greedy_edge(&cost).length(&cost))
+    });
+    g.bench_function("cheapest_insertion", |b| {
+        b.iter(|| cheapest_insertion(&cost).length(&cost))
+    });
+    g.bench_function("mst_2approx", |b| {
+        b.iter(|| mst_2approx(&cost).length(&cost))
+    });
+    g.bench_function("christofides_like", |b| {
+        b.iter(|| christofides_like(&cost).length(&cost))
+    });
+    g.bench_function("ci_plus_improve", |b| {
+        b.iter(|| {
+            improve(&cost, cheapest_insertion(&cost), &ImproveConfig::default()).length(&cost)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench for experiments F5/F6: one simulated round of each scheme.
+//! (`experiments f5` / `f6` regenerate the energy tables.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdg_core::ShdgPlanner;
+use mdg_net::{DeploymentConfig, Network};
+use mdg_sim::{scenario_from_plan, MobileGatheringSim, MultihopRoutingSim, SimConfig};
+
+fn bench(c: &mut Criterion) {
+    let net = Network::build(DeploymentConfig::uniform(200, 200.0).generate(42), 30.0);
+    let plan = ShdgPlanner::new().plan(&net).unwrap();
+    let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+    let cfg = SimConfig::default();
+    let mobile = MobileGatheringSim::new(scen, cfg);
+    let routing = MultihopRoutingSim::new(&net, cfg);
+
+    let mut g = c.benchmark_group("f5_energy_per_round");
+    g.bench_function("shdg_round", |b| b.iter(|| mobile.run().total_joules()));
+    g.bench_function("multihop_round", |b| {
+        b.iter(|| routing.run().total_joules())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

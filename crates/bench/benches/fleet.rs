@@ -1,0 +1,31 @@
+//! Bench for experiment F9/A3: multi-collector planning.
+//! (`experiments f9` / `a3` regenerate the fleet tables.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdg_core::{fleet, ShdgPlanner};
+use mdg_net::{DeploymentConfig, Network};
+
+fn bench(c: &mut Criterion) {
+    let net = Network::build(DeploymentConfig::uniform(400, 400.0).generate(42), 30.0);
+    let plan = ShdgPlanner::new().plan(&net).unwrap();
+    let single = plan.collection_time(1.0, 0.5);
+
+    let mut g = c.benchmark_group("f9_fleet");
+    for &k in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("split_into_k", k), &k, |b, &k| {
+            b.iter(|| fleet::plan_fleet(&plan, k).max_length())
+        });
+        g.bench_with_input(BenchmarkId::new("angular", k), &k, |b, &k| {
+            b.iter(|| fleet::plan_fleet_angular(&plan, k).max_length())
+        });
+    }
+    g.bench_function("deadline_half", |b| {
+        b.iter(|| {
+            fleet::plan_fleet_for_deadline(&plan, single * 0.5, 1.0, 0.5).map(|f| f.n_collectors())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

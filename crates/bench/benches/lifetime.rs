@@ -1,0 +1,34 @@
+//! Bench for experiment F7: lifetime simulation throughput.
+//! (`experiments f7` regenerates the lifetime table.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdg_core::ShdgPlanner;
+use mdg_net::{DeploymentConfig, Network};
+use mdg_sim::{
+    scenario_from_plan, simulate_lifetime, MobileGatheringSim, MultihopRoutingSim, SimConfig,
+};
+
+fn bench(c: &mut Criterion) {
+    let net = Network::build(DeploymentConfig::uniform(100, 200.0).generate(42), 30.0);
+    let plan = ShdgPlanner::new().plan(&net).unwrap();
+    let cfg = SimConfig::default();
+
+    let mut g = c.benchmark_group("f7_lifetime");
+    g.bench_function("shdg_lifetime", |b| {
+        b.iter(|| {
+            let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+            let mut sim = MobileGatheringSim::new(scen, cfg);
+            simulate_lifetime(&mut sim, 0.05, 5_000).rounds_run
+        })
+    });
+    g.bench_function("multihop_lifetime", |b| {
+        b.iter(|| {
+            let mut sim = MultihopRoutingSim::new(&net, cfg);
+            simulate_lifetime(&mut sim, 0.05, 5_000).rounds_run
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench for experiment F3: SHDG planning across field sizes.
+//! (`experiments f3` regenerates the figure's data series.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdg_core::ShdgPlanner;
+use mdg_net::{DeploymentConfig, Network};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f3_tour_vs_l");
+    for &side in &[100.0f64, 300.0, 500.0] {
+        let net = Network::build(DeploymentConfig::uniform(400, side).generate(42), 30.0);
+        g.bench_with_input(
+            BenchmarkId::new("shdg_plan", side as u64),
+            &net,
+            |b, net| b.iter(|| ShdgPlanner::new().plan(net).unwrap().tour_length),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

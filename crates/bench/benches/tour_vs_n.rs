@@ -1,0 +1,20 @@
+//! Bench for experiment F1: SHDG planning cost as the sensor count grows.
+//! (`experiments f1` regenerates the figure's data series.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdg_core::ShdgPlanner;
+use mdg_net::{DeploymentConfig, Network};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f1_tour_vs_n");
+    for &n in &[100usize, 300, 500] {
+        let net = Network::build(DeploymentConfig::uniform(n, 200.0).generate(42), 30.0);
+        g.bench_with_input(BenchmarkId::new("shdg_plan", n), &net, |b, net| {
+            b.iter(|| ShdgPlanner::new().plan(net).unwrap().tour_length)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Bench for experiment F2: SHDG planning across transmission ranges.
+//! (`experiments f2` regenerates the figure's data series.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdg_core::ShdgPlanner;
+use mdg_net::{DeploymentConfig, Network};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f2_tour_vs_r");
+    let dep = DeploymentConfig::uniform(200, 200.0).generate(42);
+    for &r in &[20.0f64, 35.0, 50.0] {
+        let net = Network::build(dep.clone(), r);
+        g.bench_with_input(BenchmarkId::new("shdg_plan", r as u64), &net, |b, net| {
+            b.iter(|| ShdgPlanner::new().plan(net).unwrap().tour_length)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

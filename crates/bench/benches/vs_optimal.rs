@@ -1,0 +1,23 @@
+//! Bench for experiment T1/E1: exact SHDGP solving versus the heuristic on
+//! small instances. (`experiments t1` regenerates the gap table.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdg_core::{exact_plan, ShdgPlanner};
+use mdg_net::{DeploymentConfig, Network};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_vs_optimal");
+    for &n in &[10usize, 14, 16] {
+        let net = Network::build(DeploymentConfig::uniform(n, 70.0).generate(42), 25.0);
+        g.bench_with_input(BenchmarkId::new("exact", n), &net, |b, net| {
+            b.iter(|| exact_plan(net).unwrap().tour_length)
+        });
+        g.bench_with_input(BenchmarkId::new("heuristic", n), &net, |b, net| {
+            b.iter(|| ShdgPlanner::new().plan(net).unwrap().tour_length)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Experiment harness CLI.
+//!
+//! ```text
+//! experiments <id>... [--quick | --full] [--seed S] [--replicates N] [--out DIR]
+//! experiments all [flags]
+//! experiments list
+//! ```
+//!
+//! Each experiment prints a markdown table to stdout and writes a CSV into
+//! the output directory (default `results/`).
+
+use mdg_bench::{run_experiment, Params, ALL_EXPERIMENTS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: experiments <id|all|list>... [--quick|--full] [--seed S] [--replicates N] [--out DIR]\n\
+         experiments: {}",
+        ALL_EXPERIMENTS.join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+
+    let mut params = Params::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => params = Params::smoke(),
+            "--full" => params = Params::full(),
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => params.base_seed = s,
+                None => return usage(),
+            },
+            "--replicates" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(r) if r > 0 => params.replicates = r,
+                _ => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => return usage(),
+            },
+            "list" => {
+                for id in ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            flag if flag.starts_with("--") => return usage(),
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        return usage();
+    }
+
+    println!(
+        "running {} experiment(s), {} replicates per point, base seed {}\n",
+        ids.len(),
+        params.replicates,
+        params.base_seed
+    );
+    for id in &ids {
+        let start = std::time::Instant::now();
+        let Some(table) = run_experiment(id, &params) else {
+            eprintln!("unknown experiment: {id}");
+            return usage();
+        };
+        println!("{}", table.to_markdown());
+        match table.write_csv(&out_dir) {
+            Ok(path) => {
+                println!(
+                    "wrote {} ({:.1} s)\n",
+                    path.display(),
+                    start.elapsed().as_secs_f64()
+                )
+            }
+            Err(e) => eprintln!("could not write CSV for {id}: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,88 @@
+//! Experiment parameters.
+
+use mdg_sim::SimConfig;
+use serde::{Deserialize, Serialize};
+
+/// Sweep scale: how big the parameter sweeps are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Profile {
+    /// Tiny sweeps for CI smoke tests (runs in seconds even in debug).
+    Smoke,
+    /// Laptop-scale sweeps (the default; minutes in release mode).
+    Default,
+    /// Paper-scale sweeps and replication (500 topologies per point).
+    Full,
+}
+
+/// Global experiment parameters. Defaults mirror the paper's setup: square
+/// fields, sink at the center, `R = 30 m`, collector at 1 m/s, results
+/// averaged over many random topologies per point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Random topologies averaged per data point (the paper uses 500; the
+    /// default here is laptop-scale).
+    pub replicates: usize,
+    /// Base RNG seed; replicate `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Timing/energy parameters shared by all simulated schemes.
+    pub sim: SimConfig,
+    /// Initial battery per sensor in joules (lifetime experiments).
+    pub battery_j: f64,
+    /// Round cap for lifetime simulations.
+    pub max_rounds: u64,
+    /// Sweep scale.
+    pub profile: Profile,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            replicates: 25,
+            base_seed: 42,
+            sim: SimConfig::default(),
+            battery_j: 1.0,
+            max_rounds: 50_000,
+            profile: Profile::Default,
+        }
+    }
+}
+
+impl Params {
+    /// Paper-scale replication (500 topologies per point). Slow.
+    pub fn full() -> Self {
+        Params {
+            replicates: 500,
+            profile: Profile::Full,
+            ..Params::default()
+        }
+    }
+
+    /// Minimal parameters for CI smoke tests: 2 replicates, capped rounds.
+    pub fn smoke() -> Self {
+        Params {
+            replicates: 2,
+            max_rounds: 2_000,
+            battery_j: 0.05,
+            profile: Profile::Smoke,
+            ..Params::default()
+        }
+    }
+
+    /// Seed for replicate `i`.
+    pub fn seed(&self, i: usize) -> u64 {
+        self.base_seed.wrapping_add(i as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(Params::full().replicates > Params::default().replicates);
+        assert!(Params::smoke().replicates < Params::default().replicates);
+        assert_eq!(Params::default().seed(0), 42);
+        assert_eq!(Params::default().seed(3), 45);
+    }
+}

@@ -1,0 +1,92 @@
+//! Parallel replicate execution.
+
+use crate::params::Params;
+use rayon::prelude::*;
+
+/// Runs `f(seed)` for every replicate seed in parallel and returns the
+/// results in seed order (deterministic regardless of thread scheduling).
+pub fn replicate<R, F>(params: &Params, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    (0..params.replicates)
+        .into_par_iter()
+        .map(|i| f(params.seed(i)))
+        .collect()
+}
+
+/// Runs `f(seed)` over all replicates and averages each component of the
+/// returned vector (all replicates must return equal-length vectors).
+pub fn replicate_mean<F>(params: &Params, f: F) -> Vec<f64>
+where
+    F: Fn(u64) -> Vec<f64> + Sync,
+{
+    let results = replicate(params, f);
+    mean_rows(&results)
+}
+
+/// Component-wise mean of equally sized rows.
+///
+/// # Panics
+/// Panics on an empty input or ragged rows.
+pub fn mean_rows(rows: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!rows.is_empty(), "cannot average zero replicates");
+    let width = rows[0].len();
+    let mut acc = vec![0.0; width];
+    for row in rows {
+        assert_eq!(row.len(), width, "ragged replicate rows");
+        for (a, &x) in acc.iter_mut().zip(row) {
+            *a += x;
+        }
+    }
+    for a in &mut acc {
+        *a /= rows.len() as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicate_is_ordered_and_deterministic() {
+        let p = Params {
+            replicates: 8,
+            base_seed: 100,
+            ..Params::default()
+        };
+        let out = replicate(&p, |seed| seed * 2);
+        assert_eq!(out, vec![200, 202, 204, 206, 208, 210, 212, 214]);
+    }
+
+    #[test]
+    fn replicate_mean_averages() {
+        let p = Params {
+            replicates: 4,
+            base_seed: 0,
+            ..Params::default()
+        };
+        let out = replicate_mean(&p, |seed| vec![seed as f64, 10.0]);
+        assert_eq!(out, vec![1.5, 10.0]);
+    }
+
+    #[test]
+    fn mean_rows_componentwise() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 6.0]];
+        assert_eq!(mean_rows(&rows), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        mean_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero replicates")]
+    fn empty_rows_panic() {
+        mean_rows(&[]);
+    }
+}

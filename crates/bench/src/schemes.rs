@@ -1,0 +1,188 @@
+//! Uniform per-scheme evaluation on one topology.
+//!
+//! Every figure compares schemes over *identical* seeded topologies; these
+//! helpers run one scheme on one [`Network`] and distill the quantities
+//! the tables report.
+
+use mdg_baselines::cme::cme_scenario;
+use mdg_baselines::{plan_cme, visit_all_plan, DirectMetrics, MultihopMetrics};
+use mdg_core::{PlanMetrics, ShdgPlanner};
+use mdg_net::Network;
+use mdg_sim::{scenario_from_plan, MobileGatheringSim, MultihopRoutingSim, SimConfig};
+
+/// One scheme's result on one topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemePoint {
+    /// Collector travel per round in meters (0 for static routing).
+    pub tour_length: f64,
+    /// Collector stops / polling points (0 for static routing).
+    pub n_stops: f64,
+    /// Mean relay hops per delivered packet *before* upload (0 = pure
+    /// single-hop; for static routing, hops all the way to the sink).
+    pub relay_hops: f64,
+    /// Total sensor-side joules per round.
+    pub energy_j: f64,
+    /// Jain fairness of per-sensor energy.
+    pub fairness: f64,
+    /// Round duration in seconds (simulated).
+    pub latency_s: f64,
+    /// Fraction of packets collected.
+    pub delivery: f64,
+    /// Total sensor transmissions per round.
+    pub transmissions: f64,
+}
+
+/// Evaluates the SHDG planner + one simulated round.
+pub fn eval_shdg(net: &Network, sim: &SimConfig) -> SchemePoint {
+    let plan = ShdgPlanner::new()
+        .plan(net)
+        .expect("sensor-site planning is total");
+    let metrics = PlanMetrics::of(&plan, &net.deployment.sensors);
+    let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+    let r = MobileGatheringSim::new(scen, *sim).run();
+    SchemePoint {
+        tour_length: plan.tour_length,
+        n_stops: metrics.n_polling_points as f64,
+        relay_hops: 0.0,
+        energy_j: r.total_joules(),
+        fairness: r.ledger.fairness(),
+        latency_s: r.duration_secs,
+        delivery: r.delivery_ratio(),
+        transmissions: r.total_transmissions() as f64,
+    }
+}
+
+/// Evaluates the visit-every-sensor tour + one simulated round.
+pub fn eval_visit_all(net: &Network, sim: &SimConfig) -> SchemePoint {
+    let plan = visit_all_plan(net);
+    let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+    let r = MobileGatheringSim::new(scen, *sim).run();
+    SchemePoint {
+        tour_length: plan.tour_length,
+        n_stops: plan.n_polling_points() as f64,
+        relay_hops: 0.0,
+        energy_j: r.total_joules(),
+        fairness: r.ledger.fairness(),
+        latency_s: r.duration_secs,
+        delivery: r.delivery_ratio(),
+        transmissions: r.total_transmissions() as f64,
+    }
+}
+
+/// Evaluates the CME fixed-track scheme + one simulated round.
+pub fn eval_cme(net: &Network, n_tracks: usize, sim: &SimConfig) -> SchemePoint {
+    let plan = plan_cme(net, n_tracks);
+    let scen = cme_scenario(&plan, net);
+    let r = MobileGatheringSim::new(scen, *sim).run();
+    SchemePoint {
+        tour_length: plan.path_length,
+        n_stops: plan.uploads.len() as f64,
+        relay_hops: plan.mean_relay_hops(),
+        energy_j: r.total_joules(),
+        fairness: r.ledger.fairness(),
+        latency_s: r.duration_secs,
+        delivery: r.delivery_ratio(),
+        transmissions: r.total_transmissions() as f64,
+    }
+}
+
+/// Evaluates static multi-hop routing + one simulated round.
+pub fn eval_multihop(net: &Network, sim: &SimConfig) -> SchemePoint {
+    let m = MultihopMetrics::of(net);
+    let r = MultihopRoutingSim::new(net, *sim).run();
+    SchemePoint {
+        tour_length: 0.0,
+        n_stops: 0.0,
+        relay_hops: m.mean_hops,
+        energy_j: r.total_joules(),
+        fairness: r.ledger.fairness(),
+        latency_s: r.duration_secs,
+        delivery: r.delivery_ratio(),
+        transmissions: r.total_transmissions() as f64,
+    }
+}
+
+/// Evaluates direct transmission (analytic; no DES needed: one tx per
+/// sensor straight to the sink).
+pub fn eval_direct(net: &Network, sim: &SimConfig) -> SchemePoint {
+    let (m, ledger) = DirectMetrics::of(net, sim.radio);
+    SchemePoint {
+        tour_length: 0.0,
+        n_stops: 0.0,
+        relay_hops: 0.0,
+        energy_j: m.total_joules,
+        fairness: m.fairness,
+        latency_s: sim.hop_secs,
+        delivery: 1.0,
+        transmissions: ledger.total_tx() as f64,
+    }
+}
+
+/// Number of CME tracks the paper's settings imply: tracks 100 m apart
+/// with one through the middle (≥ 1).
+pub fn cme_tracks_for_field(side: f64) -> usize {
+    ((side / 100.0).round() as usize + 1).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdg_net::DeploymentConfig;
+
+    fn net(seed: u64) -> Network {
+        Network::build(DeploymentConfig::uniform(150, 200.0).generate(seed), 30.0)
+    }
+
+    #[test]
+    fn shdg_dominates_on_the_expected_axes() {
+        let net = net(1);
+        let sim = SimConfig::default();
+        let shdg = eval_shdg(&net, &sim);
+        let va = eval_visit_all(&net, &sim);
+        let mh = eval_multihop(&net, &sim);
+        // Tour: SHDG ≪ visit-all.
+        assert!(shdg.tour_length < va.tour_length);
+        // Transmissions: SHDG = N exactly; multi-hop strictly more when
+        // any sensor is ≥ 2 hops out.
+        assert_eq!(shdg.transmissions as usize, net.n_sensors());
+        assert!(mh.transmissions > shdg.transmissions);
+        // Energy fairness: mobile single-hop is near-perfect; routing
+        // funnels energy toward the sink.
+        assert!(shdg.fairness > mh.fairness);
+        // Latency: routing wins by orders of magnitude.
+        assert!(mh.latency_s < shdg.latency_s / 100.0);
+        // Everyone delivers on a connected topology.
+        assert!(shdg.delivery >= va.delivery && va.delivery == 1.0);
+    }
+
+    #[test]
+    fn cme_sits_between_extremes() {
+        let net = net(2);
+        let sim = SimConfig::default();
+        let cme = eval_cme(&net, 3, &sim);
+        let shdg = eval_shdg(&net, &sim);
+        // CME relays without bound → nonzero relay hops; SHDG has none.
+        assert!(cme.relay_hops > 0.0);
+        assert_eq!(shdg.relay_hops, 0.0);
+        // CME's fixed path on a 200 m field with 3 tracks is longer than
+        // the adaptive SHDG tour.
+        assert!(cme.tour_length > shdg.tour_length);
+    }
+
+    #[test]
+    fn direct_burns_the_most_energy() {
+        let net = net(3);
+        let sim = SimConfig::default();
+        let d = eval_direct(&net, &sim);
+        let shdg = eval_shdg(&net, &sim);
+        assert!(d.energy_j > shdg.energy_j);
+        assert_eq!(d.transmissions as usize, net.n_sensors());
+    }
+
+    #[test]
+    fn track_count_heuristic() {
+        assert_eq!(cme_tracks_for_field(200.0), 3);
+        assert_eq!(cme_tracks_for_field(500.0), 6);
+        assert_eq!(cme_tracks_for_field(50.0), 2);
+    }
+}

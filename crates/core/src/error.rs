@@ -1,0 +1,67 @@
+//! Planner error types.
+
+use std::fmt;
+
+/// Errors produced by SHDG planning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// Some sensors cannot be covered by any candidate polling point
+    /// (possible only with grid candidates and coarse spacing). Carries the
+    /// uncoverable sensor ids.
+    Uncoverable(Vec<usize>),
+    /// The exact solver was given an instance beyond its size limits.
+    TooLargeForExact {
+        /// Number of sensors in the instance.
+        n_sensors: usize,
+        /// The solver's sensor limit.
+        limit: usize,
+    },
+    /// The exact solver exhausted its search budget without proving
+    /// optimality.
+    ExactBudgetExhausted,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Uncoverable(ids) => {
+                write!(
+                    f,
+                    "{} sensor(s) cannot be covered by any candidate polling point",
+                    ids.len()
+                )
+            }
+            PlanError::TooLargeForExact { n_sensors, limit } => {
+                write!(
+                    f,
+                    "exact solver limited to {limit} sensors, got {n_sensors}"
+                )
+            }
+            PlanError::ExactBudgetExhausted => {
+                write!(f, "exact solver exhausted its search budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PlanError::Uncoverable(vec![1, 2]);
+        assert!(e.to_string().contains("2 sensor(s)"));
+        let e = PlanError::TooLargeForExact {
+            n_sensors: 50,
+            limit: 16,
+        };
+        assert!(e.to_string().contains("16"));
+        assert!(e.to_string().contains("50"));
+        assert!(PlanError::ExactBudgetExhausted
+            .to_string()
+            .contains("budget"));
+    }
+}

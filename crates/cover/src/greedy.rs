@@ -1,0 +1,154 @@
+//! Greedy maximum-coverage polling-point selection.
+
+use crate::bitset::BitSet;
+use crate::instance::CoverageInstance;
+
+/// Greedy set cover: repeatedly select the candidate covering the most
+/// still-uncovered targets. Ties are broken by the *smallest* value of
+/// `tie_break(candidate_index)` — the SHDG planner passes distance-to-sink
+/// so the polling points pull toward the sink, and the tour-aware variant
+/// passes the marginal tour-insertion cost.
+///
+/// Returns the selected candidate indices in selection order, or `None` if
+/// the instance is infeasible (some target uncovered by every candidate).
+///
+/// The classic `ln n + 1` approximation guarantee for minimum set cover
+/// applies regardless of the tie-breaker.
+///
+/// ```
+/// use mdg_cover::{greedy_cover, CoverageInstance};
+/// use mdg_geom::Point;
+///
+/// // Three sensors in a 25 m row: the middle one covers all at R = 12.
+/// let sensors = [Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)];
+/// let inst = CoverageInstance::sensor_sites(&sensors, 12.0);
+/// let cover = greedy_cover(&inst, |_| 0.0).unwrap();
+/// assert_eq!(cover, vec![1]);
+/// assert!(inst.is_cover(&cover));
+/// ```
+pub fn greedy_cover<F>(inst: &CoverageInstance, tie_break: F) -> Option<Vec<usize>>
+where
+    F: Fn(usize) -> f64,
+{
+    let n = inst.n_targets();
+    let mut covered = BitSet::new(n);
+    let mut selected = Vec::new();
+    let mut remaining = n;
+
+    while remaining > 0 {
+        let mut best = usize::MAX;
+        let mut best_gain = 0usize;
+        let mut best_tie = f64::INFINITY;
+        for (c, cand) in inst.candidates.iter().enumerate() {
+            let gain = cand.covers.count_and_not(&covered);
+            if gain == 0 {
+                continue;
+            }
+            if gain > best_gain {
+                best = c;
+                best_gain = gain;
+                best_tie = tie_break(c);
+            } else if gain == best_gain {
+                let t = tie_break(c);
+                if t < best_tie {
+                    best = c;
+                    best_tie = t;
+                }
+            }
+        }
+        if best == usize::MAX {
+            return None; // Remaining targets are uncoverable.
+        }
+        covered.union_with(&inst.candidates[best].covers);
+        selected.push(best);
+        remaining = n - covered.count();
+    }
+    Some(selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdg_geom::Point;
+
+    fn line(xs: &[f64]) -> Vec<Point> {
+        xs.iter().map(|&x| Point::new(x, 0.0)).collect()
+    }
+
+    #[test]
+    fn covers_all_targets() {
+        let sensors = line(&[0.0, 10.0, 20.0, 30.0, 40.0, 100.0]);
+        let inst = CoverageInstance::sensor_sites(&sensors, 12.0);
+        let sel = greedy_cover(&inst, |_| 0.0).unwrap();
+        assert!(inst.is_cover(&sel));
+        // Greedy picks a middle sensor (covers 3) and then fills in:
+        // strictly fewer polling points than sensors.
+        assert!(sel.len() < sensors.len());
+    }
+
+    #[test]
+    fn greedy_picks_max_gain_first() {
+        // At R=12, candidates 1 (covers {0,1,2}) and 2 (covers {1,2,3})
+        // are the two gain-3 picks; the first selection must be one of
+        // them.
+        let sensors = line(&[0.0, 10.0, 20.0, 30.0, 80.0]);
+        let inst = CoverageInstance::sensor_sites(&sensors, 12.0);
+        let sel = greedy_cover(&inst, |_| 0.0).unwrap();
+        assert!(
+            sel[0] == 1 || sel[0] == 2,
+            "first selection must be a max-coverage candidate, got {}",
+            sel[0]
+        );
+        assert_eq!(inst.candidates[sel[0]].covers.count(), 3);
+    }
+
+    #[test]
+    fn tie_break_steers_selection() {
+        // Sensors 0 and 3 each cover exactly {self, middle neighbor}:
+        // symmetric pairs; tie-break decides.
+        let sensors = line(&[0.0, 10.0, 30.0, 40.0]);
+        let inst = CoverageInstance::sensor_sites(&sensors, 11.0);
+        // Prefer high x.
+        let sel_hi = greedy_cover(&inst, |c| -sensors[c].x).unwrap();
+        // Prefer low x.
+        let sel_lo = greedy_cover(&inst, |c| sensors[c].x).unwrap();
+        assert_ne!(sel_hi[0], sel_lo[0], "tie-break must change the first pick");
+        assert!(inst.is_cover(&sel_hi));
+        assert!(inst.is_cover(&sel_lo));
+    }
+
+    #[test]
+    fn infeasible_instance_returns_none() {
+        // Grid candidates too coarse to reach the lone sensor.
+        let sensors = vec![Point::new(33.0, 33.0)];
+        let inst =
+            CoverageInstance::grid_candidates(&sensors, &mdg_geom::Aabb::square(100.0), 50.0, 5.0);
+        assert_eq!(greedy_cover(&inst, |_| 0.0), None);
+    }
+
+    #[test]
+    fn empty_instance_needs_nothing() {
+        let inst = CoverageInstance::sensor_sites(&[], 10.0);
+        assert_eq!(greedy_cover(&inst, |_| 0.0).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn isolated_sensors_are_their_own_polling_points() {
+        let sensors = line(&[0.0, 100.0, 200.0]);
+        let inst = CoverageInstance::sensor_sites(&sensors, 10.0);
+        let mut sel = greedy_cover(&inst, |_| 0.0).unwrap();
+        sel.sort_unstable();
+        assert_eq!(sel, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn selection_has_no_duplicates() {
+        let sensors = line(&[0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0]);
+        let inst = CoverageInstance::sensor_sites(&sensors, 7.0);
+        let sel = greedy_cover(&inst, |_| 0.0).unwrap();
+        let mut dedup = sel.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sel.len());
+    }
+}

@@ -1,0 +1,264 @@
+//! Coverage instances: targets, candidate polling points and who covers
+//! whom.
+
+use crate::bitset::BitSet;
+use mdg_geom::{Aabb, Point, SpatialGrid};
+
+/// A candidate polling point.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Where the mobile collector would pause.
+    pub pos: Point,
+    /// Targets within transmission range of this position.
+    pub covers: BitSet,
+}
+
+/// A set-cover instance: `n_targets` sensors and a list of candidate
+/// polling points, each covering the sensors within radio range of it.
+#[derive(Debug, Clone)]
+pub struct CoverageInstance {
+    /// Target (sensor) positions; bit `i` of every candidate's `covers`
+    /// refers to `targets[i]`.
+    pub targets: Vec<Point>,
+    /// Candidate polling points.
+    pub candidates: Vec<Candidate>,
+    /// The transmission range that defined coverage.
+    pub range: f64,
+}
+
+impl CoverageInstance {
+    /// Number of targets.
+    pub fn n_targets(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of candidates.
+    pub fn n_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// **Sensor-site candidates** (the paper's default): every sensor
+    /// position is a candidate polling point; pausing at a sensor collects
+    /// from it (distance 0) and every sensor within `range`.
+    pub fn sensor_sites(sensors: &[Point], range: f64) -> Self {
+        assert!(range > 0.0 && range.is_finite(), "range must be positive");
+        let n = sensors.len();
+        let mut candidates = Vec::with_capacity(n);
+        if n == 0 {
+            return CoverageInstance {
+                targets: Vec::new(),
+                candidates,
+                range,
+            };
+        }
+        let grid = SpatialGrid::build(sensors, range);
+        for &pos in sensors {
+            let mut covers = BitSet::new(n);
+            grid.for_each_within(pos, range, |j| covers.set(j as usize));
+            candidates.push(Candidate { pos, covers });
+        }
+        CoverageInstance {
+            targets: sensors.to_vec(),
+            candidates,
+            range,
+        }
+    }
+
+    /// **Grid candidates**: candidate polling points on a square lattice of
+    /// the given `spacing` over `field` ("predefined positions" on a grid,
+    /// the SHDG variant used in the comparison experiments). Grid points
+    /// covering no sensor are dropped.
+    pub fn grid_candidates(sensors: &[Point], field: &Aabb, spacing: f64, range: f64) -> Self {
+        assert!(
+            spacing > 0.0 && spacing.is_finite(),
+            "spacing must be positive"
+        );
+        assert!(range > 0.0 && range.is_finite(), "range must be positive");
+        let n = sensors.len();
+        let mut candidates = Vec::new();
+        if n == 0 {
+            return CoverageInstance {
+                targets: Vec::new(),
+                candidates,
+                range,
+            };
+        }
+        let grid = SpatialGrid::build(sensors, range);
+        let nx = (field.width() / spacing).floor() as usize + 1;
+        let ny = (field.height() / spacing).floor() as usize + 1;
+        for gy in 0..ny {
+            for gx in 0..nx {
+                let pos = Point::new(
+                    (field.min.x + gx as f64 * spacing).min(field.max.x),
+                    (field.min.y + gy as f64 * spacing).min(field.max.y),
+                );
+                let mut covers = BitSet::new(n);
+                grid.for_each_within(pos, range, |j| covers.set(j as usize));
+                if !covers.none() {
+                    candidates.push(Candidate { pos, covers });
+                }
+            }
+        }
+        CoverageInstance {
+            targets: sensors.to_vec(),
+            candidates,
+            range,
+        }
+    }
+
+    /// Targets not covered by *any* candidate (possible with grid
+    /// candidates and coarse spacing; impossible with sensor-site
+    /// candidates, where each sensor covers itself).
+    pub fn uncoverable_targets(&self) -> Vec<usize> {
+        let mut covered = BitSet::new(self.n_targets());
+        for c in &self.candidates {
+            covered.union_with(&c.covers);
+        }
+        (0..self.n_targets()).filter(|&t| !covered.get(t)).collect()
+    }
+
+    /// Returns `true` if every target is covered by some candidate.
+    pub fn is_feasible(&self) -> bool {
+        self.uncoverable_targets().is_empty()
+    }
+
+    /// Returns `true` if the candidate subset `selected` covers all
+    /// targets.
+    pub fn is_cover(&self, selected: &[usize]) -> bool {
+        let mut covered = BitSet::new(self.n_targets());
+        for &s in selected {
+            covered.union_with(&self.candidates[s].covers);
+        }
+        covered.all()
+    }
+
+    /// Assigns each target to the **nearest** selected candidate that
+    /// covers it. Returns `assignment[t] = index into selected`, or `None`
+    /// if `selected` is not a cover.
+    pub fn assign(&self, selected: &[usize]) -> Option<Vec<usize>> {
+        let mut assignment = vec![usize::MAX; self.n_targets()];
+        for (t, &tp) in self.targets.iter().enumerate() {
+            let mut best = usize::MAX;
+            let mut best_d = f64::INFINITY;
+            for (k, &s) in selected.iter().enumerate() {
+                if self.candidates[s].covers.get(t) {
+                    let d = self.candidates[s].pos.dist_sq(tp);
+                    if d < best_d {
+                        best_d = d;
+                        best = k;
+                    }
+                }
+            }
+            if best == usize::MAX {
+                return None;
+            }
+            assignment[t] = best;
+        }
+        Some(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_sensors() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(20.0, 0.0),
+            Point::new(60.0, 0.0),
+        ]
+    }
+
+    #[test]
+    fn sensor_sites_cover_themselves() {
+        let inst = CoverageInstance::sensor_sites(&line_sensors(), 12.0);
+        assert_eq!(inst.n_candidates(), 4);
+        assert!(inst.is_feasible());
+        for (i, c) in inst.candidates.iter().enumerate() {
+            assert!(c.covers.get(i), "candidate {i} must cover its own sensor");
+        }
+        // Candidate 1 (x=10) covers sensors 0, 1, 2 at R=12.
+        let c1: Vec<usize> = inst.candidates[1].covers.iter_ones().collect();
+        assert_eq!(c1, vec![0, 1, 2]);
+        // The isolated sensor is covered only by itself.
+        let c3: Vec<usize> = inst.candidates[3].covers.iter_ones().collect();
+        assert_eq!(c3, vec![3]);
+    }
+
+    #[test]
+    fn coverage_is_symmetric_for_sensor_sites() {
+        let sensors = line_sensors();
+        let inst = CoverageInstance::sensor_sites(&sensors, 15.0);
+        for i in 0..sensors.len() {
+            for j in 0..sensors.len() {
+                assert_eq!(
+                    inst.candidates[i].covers.get(j),
+                    inst.candidates[j].covers.get(i),
+                    "symmetry ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn is_cover_and_assignment() {
+        let inst = CoverageInstance::sensor_sites(&line_sensors(), 12.0);
+        assert!(
+            inst.is_cover(&[1, 3]),
+            "x=10 covers 0..=2, x=60 covers itself"
+        );
+        assert!(!inst.is_cover(&[1]), "sensor 3 uncovered");
+        assert!(!inst.is_cover(&[]));
+        let assign = inst.assign(&[1, 3]).unwrap();
+        assert_eq!(assign, vec![0, 0, 0, 1]);
+        assert!(inst.assign(&[1]).is_none());
+    }
+
+    #[test]
+    fn assignment_picks_nearest() {
+        let inst = CoverageInstance::sensor_sites(&line_sensors(), 12.0);
+        // Sensors 0 and 2 both covered by candidates 0,1 and 1,2 resp.
+        let assign = inst.assign(&[0, 1, 2, 3]).unwrap();
+        assert_eq!(
+            assign,
+            vec![0, 1, 2, 3],
+            "each sensor assigned to itself (distance 0)"
+        );
+    }
+
+    #[test]
+    fn grid_candidates_cover_with_fine_spacing() {
+        let sensors = line_sensors();
+        let field = Aabb::square(70.0);
+        let inst = CoverageInstance::grid_candidates(&sensors, &field, 5.0, 12.0);
+        assert!(inst.is_feasible());
+        assert!(inst.n_candidates() > 0);
+        // Every retained grid candidate covers at least one sensor.
+        for c in &inst.candidates {
+            assert!(!c.covers.none());
+            assert!(field.contains(c.pos));
+        }
+    }
+
+    #[test]
+    fn grid_candidates_may_be_infeasible_when_sparse() {
+        // One sensor, a tiny range, and a huge spacing: the lattice point
+        // nearest the sensor may still be out of range.
+        let sensors = vec![Point::new(33.0, 33.0)];
+        let field = Aabb::square(100.0);
+        let inst = CoverageInstance::grid_candidates(&sensors, &field, 50.0, 5.0);
+        assert!(!inst.is_feasible());
+        assert_eq!(inst.uncoverable_targets(), vec![0]);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = CoverageInstance::sensor_sites(&[], 10.0);
+        assert_eq!(inst.n_targets(), 0);
+        assert!(inst.is_feasible());
+        assert!(inst.is_cover(&[]), "empty cover suffices for zero targets");
+        assert_eq!(inst.assign(&[]).unwrap(), Vec::<usize>::new());
+    }
+}

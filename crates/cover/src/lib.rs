@@ -1,0 +1,32 @@
+//! # mdg-cover — polling-point coverage instances and set-cover solvers
+//!
+//! The covering subproblem of the single-hop data gathering problem: choose
+//! a set of *polling points* such that **every sensor is within the radio
+//! transmission range of at least one chosen point** — then (in `mdg-core`)
+//! a tour visits exactly the chosen points.
+//!
+//! This crate provides:
+//!
+//! * [`BitSet`]: a compact dynamic bitset used to represent coverage sets.
+//! * [`CoverageInstance`]: targets (sensors), candidate polling points
+//!   (sensor sites or grid positions, per the paper's "predefined
+//!   positions"), and their coverage relation.
+//! * [`greedy_cover`]: the classic greedy max-coverage heuristic with a
+//!   caller-supplied tie-breaker (the planner breaks ties toward the sink).
+//! * [`prune_cover`]: reverse-delete removal of redundant selections.
+//! * [`exact::exact_min_cover`]: branch-and-bound minimum set cover for the
+//!   optimality-gap experiments (substituting the paper's CPLEX runs).
+
+pub mod bitset;
+pub mod capacitated;
+pub mod exact;
+pub mod greedy;
+pub mod instance;
+pub mod prune;
+
+pub use bitset::BitSet;
+pub use capacitated::{capacitated_greedy_cover, CapacitatedCover};
+pub use exact::exact_min_cover;
+pub use greedy::greedy_cover;
+pub use instance::{Candidate, CoverageInstance};
+pub use prune::prune_cover;

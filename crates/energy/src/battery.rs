@@ -1,0 +1,137 @@
+//! Per-node battery with drain accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// A sensor battery holding a finite energy reserve in joules.
+///
+/// Draining past empty clamps at zero and marks the node dead; the death
+/// event (first transition to empty) is reported exactly once so the
+/// lifetime simulator can record the round of first death.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity: f64,
+    remaining: f64,
+}
+
+impl Battery {
+    /// A fresh battery with `capacity` joules.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is negative or non-finite.
+    pub fn new(capacity: f64) -> Self {
+        assert!(
+            capacity >= 0.0 && capacity.is_finite(),
+            "capacity must be non-negative"
+        );
+        Battery {
+            capacity,
+            remaining: capacity,
+        }
+    }
+
+    /// Initial capacity in joules.
+    #[inline]
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Remaining energy in joules.
+    #[inline]
+    pub fn remaining(&self) -> f64 {
+        self.remaining
+    }
+
+    /// Energy consumed so far in joules.
+    #[inline]
+    pub fn consumed(&self) -> f64 {
+        self.capacity - self.remaining
+    }
+
+    /// Fraction of capacity remaining in `[0, 1]` (1 for a zero-capacity
+    /// battery, which is considered dead).
+    pub fn fraction(&self) -> f64 {
+        if self.capacity <= 0.0 {
+            0.0
+        } else {
+            self.remaining / self.capacity
+        }
+    }
+
+    /// Returns `true` once the battery is exhausted.
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.remaining <= 0.0
+    }
+
+    /// Drains `joules`; returns `true` iff this drain killed the node
+    /// (i.e. the battery transitioned from alive to dead).
+    pub fn drain(&mut self, joules: f64) -> bool {
+        debug_assert!(joules >= 0.0, "drain must be non-negative");
+        if self.is_dead() {
+            return false;
+        }
+        self.remaining -= joules;
+        if self.remaining <= 0.0 {
+            self.remaining = 0.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_battery() {
+        let b = Battery::new(2.0);
+        assert_eq!(b.capacity(), 2.0);
+        assert_eq!(b.remaining(), 2.0);
+        assert_eq!(b.consumed(), 0.0);
+        assert_eq!(b.fraction(), 1.0);
+        assert!(!b.is_dead());
+    }
+
+    #[test]
+    fn drain_accounting() {
+        let mut b = Battery::new(1.0);
+        assert!(!b.drain(0.25));
+        assert_eq!(b.remaining(), 0.75);
+        assert_eq!(b.consumed(), 0.25);
+        assert!((b.fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn death_reported_once() {
+        let mut b = Battery::new(1.0);
+        assert!(!b.drain(0.6));
+        assert!(b.drain(0.6), "this drain crosses zero");
+        assert!(b.is_dead());
+        assert_eq!(b.remaining(), 0.0);
+        assert!(!b.drain(0.1), "already dead: no second death event");
+        assert_eq!(b.remaining(), 0.0, "clamped at zero");
+        assert_eq!(b.consumed(), 1.0);
+    }
+
+    #[test]
+    fn exact_depletion_is_death() {
+        let mut b = Battery::new(0.5);
+        assert!(b.drain(0.5));
+        assert!(b.is_dead());
+    }
+
+    #[test]
+    fn zero_capacity_battery_is_dead() {
+        let b = Battery::new(0.0);
+        assert!(b.is_dead());
+        assert_eq!(b.fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn negative_capacity_panics() {
+        Battery::new(-1.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Per-node energy expenditure ledger.
+
+use crate::radio::RadioModel;
+use crate::stats::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates per-node transmission/reception counts and joules over a
+/// simulation, independent of (and in addition to) battery state.
+///
+/// The ledger is the measurement instrument behind the energy and
+/// uniformity figures: schemes are compared on `total_joules`, per-node
+/// distributions, and transmission counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    tx_count: Vec<u64>,
+    rx_count: Vec<u64>,
+    joules: Vec<f64>,
+    model: RadioModel,
+}
+
+impl EnergyLedger {
+    /// A zeroed ledger for `n` nodes under `model`.
+    pub fn new(n: usize, model: RadioModel) -> Self {
+        EnergyLedger {
+            tx_count: vec![0; n],
+            rx_count: vec![0; n],
+            joules: vec![0.0; n],
+            model,
+        }
+    }
+
+    /// Number of tracked nodes.
+    pub fn len(&self) -> usize {
+        self.joules.len()
+    }
+
+    /// Returns `true` if the ledger tracks no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.joules.is_empty()
+    }
+
+    /// The radio model used for costing.
+    pub fn model(&self) -> &RadioModel {
+        &self.model
+    }
+
+    /// Records `node` transmitting one packet over `dist` meters. Returns
+    /// the joules charged.
+    pub fn record_tx(&mut self, node: usize, dist: f64) -> f64 {
+        let e = self.model.tx_cost(dist);
+        self.tx_count[node] += 1;
+        self.joules[node] += e;
+        e
+    }
+
+    /// Records `node` receiving one packet. Returns the joules charged.
+    pub fn record_rx(&mut self, node: usize) -> f64 {
+        let e = self.model.rx_cost();
+        self.rx_count[node] += 1;
+        self.joules[node] += e;
+        e
+    }
+
+    /// Transmissions by `node`.
+    pub fn tx_of(&self, node: usize) -> u64 {
+        self.tx_count[node]
+    }
+
+    /// Receptions by `node`.
+    pub fn rx_of(&self, node: usize) -> u64 {
+        self.rx_count[node]
+    }
+
+    /// Joules spent by `node`.
+    pub fn joules_of(&self, node: usize) -> f64 {
+        self.joules[node]
+    }
+
+    /// Total transmissions across all nodes.
+    pub fn total_tx(&self) -> u64 {
+        self.tx_count.iter().sum()
+    }
+
+    /// Total receptions across all nodes.
+    pub fn total_rx(&self) -> u64 {
+        self.rx_count.iter().sum()
+    }
+
+    /// Total joules across all nodes.
+    pub fn total_joules(&self) -> f64 {
+        self.joules.iter().sum()
+    }
+
+    /// Per-node joules slice.
+    pub fn joules_per_node(&self) -> &[f64] {
+        &self.joules
+    }
+
+    /// Statistical summary of per-node joules.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.joules)
+    }
+
+    /// Jain's fairness index of the per-node energy expenditure
+    /// (1 = perfectly uniform).
+    pub fn fairness(&self) -> f64 {
+        crate::stats::jain_index(&self.joules)
+    }
+
+    /// Merges another ledger (same node count and model) into this one.
+    ///
+    /// # Panics
+    /// Panics on mismatched lengths.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        assert_eq!(self.len(), other.len(), "ledger size mismatch");
+        for i in 0..self.len() {
+            self.tx_count[i] += other.tx_count[i];
+            self.rx_count[i] += other.rx_count[i];
+            self.joules[i] += other.joules[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger() -> EnergyLedger {
+        EnergyLedger::new(3, RadioModel::default())
+    }
+
+    #[test]
+    fn records_accumulate() {
+        let mut l = ledger();
+        let e_tx = l.record_tx(0, 20.0);
+        let e_rx = l.record_rx(1);
+        assert!(e_tx > e_rx, "tx over distance costs more than rx");
+        assert_eq!(l.tx_of(0), 1);
+        assert_eq!(l.rx_of(1), 1);
+        assert_eq!(l.tx_of(2), 0);
+        assert!((l.joules_of(0) - e_tx).abs() < 1e-18);
+        assert!((l.total_joules() - (e_tx + e_rx)).abs() < 1e-18);
+        assert_eq!(l.total_tx(), 1);
+        assert_eq!(l.total_rx(), 1);
+    }
+
+    #[test]
+    fn energy_conservation_against_model() {
+        // Ledger totals must equal hand-computed model costs.
+        let mut l = ledger();
+        let m = *l.model();
+        l.record_tx(0, 10.0);
+        l.record_tx(0, 30.0);
+        l.record_rx(2);
+        let expect = m.tx_cost(10.0) + m.tx_cost(30.0) + m.rx_cost();
+        assert!((l.total_joules() - expect).abs() < 1e-18);
+    }
+
+    #[test]
+    fn fairness_of_uniform_load_is_one() {
+        let mut l = ledger();
+        for node in 0..3 {
+            l.record_tx(node, 15.0);
+        }
+        assert!((l.fairness() - 1.0).abs() < 1e-12);
+        // Skewing the load drops fairness.
+        l.record_tx(0, 50.0);
+        l.record_tx(0, 50.0);
+        assert!(l.fairness() < 0.99);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = ledger();
+        let mut b = ledger();
+        a.record_tx(0, 10.0);
+        b.record_tx(0, 10.0);
+        b.record_rx(2);
+        a.merge(&b);
+        assert_eq!(a.tx_of(0), 2);
+        assert_eq!(a.rx_of(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn merge_mismatched_sizes_panics() {
+        let mut a = ledger();
+        let b = EnergyLedger::new(5, RadioModel::default());
+        a.merge(&b);
+    }
+}

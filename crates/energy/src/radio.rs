@@ -1,0 +1,162 @@
+//! The first-order radio energy model.
+
+use serde::{Deserialize, Serialize};
+
+/// First-order radio model parameters.
+///
+/// Defaults follow the values ubiquitous in the WSN literature
+/// (Heinzelman et al.): `E_elec = 50 nJ/bit`, `ε_amp = 100 pJ/bit/m²`,
+/// free-space path loss exponent `α = 2`, 4000-bit packets.
+/// ```
+/// use mdg_energy::RadioModel;
+///
+/// let radio = RadioModel::default();
+/// // A relayed hop costs the relay both a reception and a transmission —
+/// // the overhead single-hop mobile collection eliminates.
+/// assert!(radio.relay_cost(20.0) > radio.tx_cost(20.0));
+/// assert!(radio.tx_cost(40.0) > radio.tx_cost(20.0), "amplifier cost grows with d^α");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioModel {
+    /// Electronics energy per bit, joules (runs for both TX and RX).
+    pub e_elec: f64,
+    /// Amplifier energy per bit per m^α, joules.
+    pub e_amp: f64,
+    /// Path-loss exponent (2 for free space, up to 4 for multi-path).
+    pub alpha: f64,
+    /// Packet size in bits.
+    pub packet_bits: f64,
+}
+
+impl Default for RadioModel {
+    fn default() -> Self {
+        RadioModel {
+            e_elec: 50e-9,
+            e_amp: 100e-12,
+            alpha: 2.0,
+            packet_bits: 4000.0,
+        }
+    }
+}
+
+impl RadioModel {
+    /// Creates a model, validating parameters.
+    ///
+    /// # Panics
+    /// Panics if any parameter is negative or non-finite, or if
+    /// `packet_bits` is zero.
+    pub fn new(e_elec: f64, e_amp: f64, alpha: f64, packet_bits: f64) -> Self {
+        assert!(
+            e_elec >= 0.0 && e_elec.is_finite(),
+            "e_elec must be non-negative"
+        );
+        assert!(
+            e_amp >= 0.0 && e_amp.is_finite(),
+            "e_amp must be non-negative"
+        );
+        assert!(alpha >= 1.0 && alpha.is_finite(), "alpha must be >= 1");
+        assert!(
+            packet_bits > 0.0 && packet_bits.is_finite(),
+            "packet_bits must be positive"
+        );
+        RadioModel {
+            e_elec,
+            e_amp,
+            alpha,
+            packet_bits,
+        }
+    }
+
+    /// Energy to transmit one packet over distance `d` meters.
+    #[inline]
+    pub fn tx_cost(&self, d: f64) -> f64 {
+        debug_assert!(d >= 0.0, "distance must be non-negative");
+        self.packet_bits * (self.e_elec + self.e_amp * d.powf(self.alpha))
+    }
+
+    /// Energy to receive one packet.
+    #[inline]
+    pub fn rx_cost(&self) -> f64 {
+        self.packet_bits * self.e_elec
+    }
+
+    /// Energy for one relay hop over distance `d`: the relay both receives
+    /// and retransmits the packet.
+    #[inline]
+    pub fn relay_cost(&self, d: f64) -> f64 {
+        self.rx_cost() + self.tx_cost(d)
+    }
+
+    /// Total network energy to deliver one packet along a multi-hop path
+    /// with the given hop distances: the source transmits, every
+    /// intermediate node receives and retransmits, and the final reception
+    /// is charged to the destination (sink receptions are usually free in
+    /// lifetime terms, so callers may subtract [`RadioModel::rx_cost`]).
+    pub fn path_cost(&self, hop_distances: &[f64]) -> f64 {
+        if hop_distances.is_empty() {
+            return 0.0;
+        }
+        let tx: f64 = hop_distances.iter().map(|&d| self.tx_cost(d)).sum();
+        let rx = self.rx_cost() * hop_distances.len() as f64;
+        tx + rx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_values_sane() {
+        let m = RadioModel::default();
+        // 4000 bits at 50 nJ/bit = 0.2 mJ of electronics energy per op.
+        assert!((m.rx_cost() - 0.0002).abs() < 1e-12);
+        // TX at d = 0 equals the electronics-only cost.
+        assert!((m.tx_cost(0.0) - m.rx_cost()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tx_grows_quadratically_at_alpha2() {
+        let m = RadioModel::default();
+        let amp10 = m.tx_cost(10.0) - m.rx_cost();
+        let amp20 = m.tx_cost(20.0) - m.rx_cost();
+        assert!((amp20 / amp10 - 4.0).abs() < 1e-9, "d² scaling");
+    }
+
+    #[test]
+    fn alpha4_model() {
+        let m = RadioModel::new(50e-9, 100e-12, 4.0, 4000.0);
+        let amp10 = m.tx_cost(10.0) - m.rx_cost();
+        let amp20 = m.tx_cost(20.0) - m.rx_cost();
+        assert!((amp20 / amp10 - 16.0).abs() < 1e-9, "d⁴ scaling");
+    }
+
+    #[test]
+    fn relay_is_rx_plus_tx() {
+        let m = RadioModel::default();
+        assert!((m.relay_cost(25.0) - (m.rx_cost() + m.tx_cost(25.0))).abs() < 1e-18);
+    }
+
+    #[test]
+    fn path_cost_accumulates_hops() {
+        let m = RadioModel::default();
+        let hops = [10.0, 20.0, 15.0];
+        let expect = m.tx_cost(10.0) + m.tx_cost(20.0) + m.tx_cost(15.0) + 3.0 * m.rx_cost();
+        assert!((m.path_cost(&hops) - expect).abs() < 1e-15);
+        assert_eq!(m.path_cost(&[]), 0.0);
+    }
+
+    #[test]
+    fn single_hop_beats_two_relays_of_same_total_length() {
+        // Core premise of mobile collection: one short hop beats a relayed
+        // path because every relay pays the electronics cost twice.
+        let m = RadioModel::default();
+        assert!(m.path_cost(&[15.0]) < m.path_cost(&[7.5, 7.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "packet_bits")]
+    fn zero_packet_panics() {
+        RadioModel::new(50e-9, 100e-12, 2.0, 0.0);
+    }
+}

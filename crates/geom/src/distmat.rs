@@ -1,0 +1,170 @@
+//! Dense symmetric distance matrices with condensed (triangular) storage.
+//!
+//! TSP heuristics query pairwise distances `O(n²)`–`O(n³)` times per plan;
+//! precomputing them once into a flat triangle halves memory versus a full
+//! square matrix and avoids repeated `sqrt` calls.
+
+use crate::point::Point;
+
+/// A symmetric `n × n` distance matrix storing only the strict upper
+/// triangle (the diagonal is implicitly zero).
+#[derive(Debug, Clone)]
+pub struct DistMatrix {
+    n: usize,
+    /// Condensed row-major upper triangle: entry `(i, j)` with `i < j` lives
+    /// at `i*(2n - i - 1)/2 + (j - i - 1)`.
+    data: Vec<f64>,
+}
+
+impl DistMatrix {
+    /// Builds the pairwise Euclidean distance matrix of `points`.
+    pub fn from_points(points: &[Point]) -> Self {
+        let n = points.len();
+        let mut data = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                data.push(points[i].dist(points[j]));
+            }
+        }
+        DistMatrix { n, data }
+    }
+
+    /// Builds a matrix from an explicit symmetric cost function.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut cost: F) -> Self {
+        let mut data = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                data.push(cost(i, j));
+            }
+        }
+        DistMatrix { n, data }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn tri_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        i * (2 * self.n - i - 1) / 2 + (j - i - 1)
+    }
+
+    /// Distance between `i` and `j` (0 when `i == j`).
+    ///
+    /// # Panics
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        use std::cmp::Ordering;
+        match i.cmp(&j) {
+            Ordering::Equal => 0.0,
+            Ordering::Less => self.data[self.tri_index(i, j)],
+            Ordering::Greater => self.data[self.tri_index(j, i)],
+        }
+    }
+
+    /// The largest pairwise distance (0 for n < 2).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Index of the point in `candidates` closest to `from`, or `None` if
+    /// `candidates` is empty.
+    pub fn nearest_among(&self, from: usize, candidates: &[usize]) -> Option<usize> {
+        candidates
+            .iter()
+            .copied()
+            .min_by(|&a, &b| self.get(from, a).partial_cmp(&self.get(from, b)).unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn unit_square() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn matches_pairwise_distances() {
+        let pts = unit_square();
+        let m = DistMatrix::from_points(&pts);
+        assert_eq!(m.n(), 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    approx_eq(m.get(i, j), pts[i].dist(pts[j])),
+                    "entry ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_and_zero_diagonal() {
+        let pts = unit_square();
+        let m = DistMatrix::from_points(&pts);
+        for i in 0..4 {
+            assert!(approx_eq(m.get(i, i), 0.0));
+            for j in 0..4 {
+                assert!(approx_eq(m.get(i, j), m.get(j, i)));
+            }
+        }
+    }
+
+    #[test]
+    fn max_is_diagonal_of_square() {
+        let m = DistMatrix::from_points(&unit_square());
+        assert!(approx_eq(m.max(), 2.0_f64.sqrt()));
+    }
+
+    #[test]
+    fn from_fn_explicit_costs() {
+        let m = DistMatrix::from_fn(3, |i, j| (i + j) as f64);
+        assert!(approx_eq(m.get(0, 1), 1.0));
+        assert!(approx_eq(m.get(1, 2), 3.0));
+        assert!(approx_eq(m.get(2, 0), 2.0));
+    }
+
+    #[test]
+    fn nearest_among_candidates() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(0.5, 0.0),
+        ];
+        let m = DistMatrix::from_points(&pts);
+        assert_eq!(m.nearest_among(0, &[1, 2, 3]), Some(3));
+        assert_eq!(m.nearest_among(2, &[0, 1]), Some(1));
+        assert_eq!(m.nearest_among(0, &[]), None);
+    }
+
+    #[test]
+    fn tiny_matrices() {
+        let m = DistMatrix::from_points(&[]);
+        assert_eq!(m.n(), 0);
+        assert!(approx_eq(m.max(), 0.0));
+        let m1 = DistMatrix::from_points(&[Point::ORIGIN]);
+        assert_eq!(m1.n(), 1);
+        assert!(approx_eq(m1.get(0, 0), 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let m = DistMatrix::from_points(&unit_square());
+        m.get(0, 4);
+    }
+}

@@ -1,0 +1,267 @@
+//! Uniform spatial hash grid for fixed-radius neighbor queries.
+//!
+//! Unit-disk graph construction over `N` sensors is the single hottest
+//! substrate operation in the experiment sweeps (it runs once per replicate
+//! per data point, 500+ times per figure). A uniform grid with cell size
+//! equal to the query radius turns the naive `O(N²)` pairwise scan into an
+//! expected `O(N · k)` scan of the 3×3 cell neighborhood, where `k` is the
+//! local density.
+
+use crate::bbox::Aabb;
+use crate::point::Point;
+
+/// A uniform grid over a point set, bucketing point indices by cell.
+///
+/// The grid is immutable after construction; rebuild it if the point set
+/// changes (deployments are static for the lifetime of an experiment).
+///
+/// ```
+/// use mdg_geom::{Point, SpatialGrid};
+///
+/// let pts = [Point::new(0.0, 0.0), Point::new(5.0, 0.0), Point::new(50.0, 50.0)];
+/// let grid = SpatialGrid::build(&pts, 10.0);
+/// let mut near = grid.neighbors_within(Point::new(1.0, 0.0), 10.0);
+/// near.sort_unstable();
+/// assert_eq!(near, vec![0, 1]);
+/// assert_eq!(grid.nearest(Point::new(40.0, 40.0)), Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    origin: Point,
+    /// CSR-style bucket layout: `starts[c]..starts[c+1]` indexes into `items`.
+    starts: Vec<u32>,
+    items: Vec<u32>,
+    points: Vec<Point>,
+}
+
+impl SpatialGrid {
+    /// Builds a grid over `points` with cells of size `cell` (typically the
+    /// radio transmission range).
+    ///
+    /// # Panics
+    /// Panics if `cell` is not strictly positive and finite.
+    pub fn build(points: &[Point], cell: f64) -> Self {
+        assert!(
+            cell > 0.0 && cell.is_finite(),
+            "cell size must be positive and finite"
+        );
+        let bb = Aabb::from_points(points).unwrap_or(Aabb {
+            min: Point::ORIGIN,
+            max: Point::ORIGIN,
+        });
+        let origin = bb.min;
+        // Cap the cell count at ~4 buckets per point: a cell far smaller
+        // than the point spacing only wastes memory (a 1 mm radio range
+        // over a 300 m field must not allocate 10¹¹ buckets). Queries stay
+        // correct for any cell size because the scan radius is computed
+        // from `radius / cell`.
+        let max_cells = (4 * points.len()).max(64);
+        let min_cell = (bb.width().max(1e-12) * bb.height().max(1e-12) / max_cells as f64).sqrt();
+        let cell = cell.max(min_cell);
+        let cols = ((bb.width() / cell).floor() as usize + 1).max(1);
+        let rows = ((bb.height() / cell).floor() as usize + 1).max(1);
+        let ncells = cols * rows;
+
+        // Two-pass counting sort into CSR buckets.
+        let mut counts = vec![0u32; ncells + 1];
+        let cell_of = |p: Point| -> usize {
+            let cx = (((p.x - origin.x) / cell).floor() as usize).min(cols - 1);
+            let cy = (((p.y - origin.y) / cell).floor() as usize).min(rows - 1);
+            cy * cols + cx
+        };
+        for &p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 0..ncells {
+            counts[i + 1] += counts[i];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut items = vec![0u32; points.len()];
+        for (i, &p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            items[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+
+        SpatialGrid {
+            cell,
+            cols,
+            rows,
+            origin,
+            starts,
+            items,
+            points: points.to_vec(),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the grid indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Indices of all points within `radius` of `query`, excluding none.
+    /// `radius` must be ≤ the cell size for the 3×3 neighborhood scan to be
+    /// exhaustive; larger radii scan proportionally more cells and remain
+    /// correct.
+    pub fn neighbors_within(&self, query: Point, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_within(query, radius, |i| out.push(i));
+        out
+    }
+
+    /// Visits the index of every point within `radius` of `query`.
+    pub fn for_each_within<F: FnMut(u32)>(&self, query: Point, radius: f64, mut f: F) {
+        if self.points.is_empty() {
+            return;
+        }
+        let r_sq = radius * radius;
+        let reach = (radius / self.cell).ceil() as i64;
+        let qcx = ((query.x - self.origin.x) / self.cell).floor() as i64;
+        let qcy = ((query.y - self.origin.y) / self.cell).floor() as i64;
+        for cy in (qcy - reach)..=(qcy + reach) {
+            if cy < 0 || cy >= self.rows as i64 {
+                continue;
+            }
+            for cx in (qcx - reach)..=(qcx + reach) {
+                if cx < 0 || cx >= self.cols as i64 {
+                    continue;
+                }
+                let c = cy as usize * self.cols + cx as usize;
+                let lo = self.starts[c] as usize;
+                let hi = self.starts[c + 1] as usize;
+                for &i in &self.items[lo..hi] {
+                    if self.points[i as usize].dist_sq(query) <= r_sq {
+                        f(i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Index of the point nearest to `query`, or `None` if the grid is
+    /// empty. Expands the search ring until a hit is confirmed closest.
+    pub fn nearest(&self, query: Point) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut radius = self.cell;
+        let diag = {
+            let w = self.cols as f64 * self.cell;
+            let h = self.rows as f64 * self.cell;
+            (w * w + h * h).sqrt() + self.cell
+        };
+        loop {
+            let mut best: Option<(u32, f64)> = None;
+            self.for_each_within(query, radius, |i| {
+                let d = self.points[i as usize].dist_sq(query);
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            });
+            if let Some((i, d_sq)) = best {
+                // A hit is only guaranteed nearest if it is within the
+                // scanned radius (candidates outside the ring were skipped).
+                if d_sq.sqrt() <= radius {
+                    return Some(i);
+                }
+            }
+            if radius > diag {
+                // Fall back to a full scan; only reachable for queries far
+                // outside the indexed extent.
+                return self
+                    .points
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.dist_sq(query).partial_cmp(&b.1.dist_sq(query)).unwrap())
+                    .map(|(i, _)| i as u32);
+            }
+            radius *= 2.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(5.0, 5.0),
+            Point::new(5.2, 5.1),
+            Point::new(20.0, 20.0),
+        ]
+    }
+
+    #[test]
+    fn neighbors_match_brute_force() {
+        let pts = cluster();
+        let grid = SpatialGrid::build(&pts, 3.0);
+        for &q in &pts {
+            for &r in &[0.5, 1.0, 3.0, 7.5, 100.0] {
+                let mut got = grid.neighbors_within(q, r);
+                got.sort_unstable();
+                let mut want: Vec<u32> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.dist(q) <= r)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "query {q} radius {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn radius_larger_than_cell_is_exhaustive() {
+        let pts: Vec<Point> = (0..50).map(|i| Point::new(i as f64, 0.0)).collect();
+        let grid = SpatialGrid::build(&pts, 1.0);
+        let found = grid.neighbors_within(Point::new(25.0, 0.0), 10.0);
+        assert_eq!(found.len(), 21, "±10 around 25 inclusive");
+    }
+
+    #[test]
+    fn nearest_picks_closest() {
+        let pts = cluster();
+        let grid = SpatialGrid::build(&pts, 3.0);
+        assert_eq!(grid.nearest(Point::new(0.4, 0.0)), Some(0));
+        assert_eq!(grid.nearest(Point::new(0.6, 0.0)), Some(1));
+        assert_eq!(grid.nearest(Point::new(19.0, 19.0)), Some(4));
+        // Query far outside the extent still resolves.
+        assert_eq!(grid.nearest(Point::new(-100.0, -100.0)), Some(0));
+    }
+
+    #[test]
+    fn empty_grid() {
+        let grid = SpatialGrid::build(&[], 1.0);
+        assert!(grid.is_empty());
+        assert!(grid.neighbors_within(Point::ORIGIN, 10.0).is_empty());
+        assert_eq!(grid.nearest(Point::ORIGIN), None);
+    }
+
+    #[test]
+    fn single_point_grid() {
+        let grid = SpatialGrid::build(&[Point::new(3.0, 4.0)], 2.0);
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid.nearest(Point::ORIGIN), Some(0));
+        assert_eq!(grid.neighbors_within(Point::ORIGIN, 5.0), vec![0]);
+        assert!(grid.neighbors_within(Point::ORIGIN, 4.9).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_panics() {
+        SpatialGrid::build(&[Point::ORIGIN], 0.0);
+    }
+}

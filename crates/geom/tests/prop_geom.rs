@@ -1,0 +1,152 @@
+//! Property-based tests for the geometry substrate.
+
+use mdg_geom::{
+    approx_eq, closed_tour_length, convex_hull, hull::hull_contains, hull_perimeter,
+    open_path_length, Aabb, ArcLengthPath, DistMatrix, Point, SpatialGrid,
+};
+use proptest::prelude::*;
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    // Field coordinates in a generous range; keeps distance arithmetic exact
+    // enough for 1e-6 comparisons.
+    -1e4..1e4f64
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (finite_coord(), finite_coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(arb_point(), 1..max)
+}
+
+proptest! {
+    #[test]
+    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-6);
+    }
+
+    #[test]
+    fn distance_symmetry_and_positivity(a in arb_point(), b in arb_point()) {
+        prop_assert!(approx_eq(a.dist(b), b.dist(a)));
+        prop_assert!(a.dist(b) >= 0.0);
+        prop_assert!(approx_eq(a.dist(a), 0.0));
+    }
+
+    #[test]
+    fn step_towards_never_overshoots(a in arb_point(), b in arb_point(), step in 0.0..1e5f64) {
+        let moved = a.step_towards(b, step);
+        // The move travels at most `step` (within fp slack)…
+        prop_assert!(a.dist(moved) <= step + 1e-6);
+        // …and never increases the distance to the target.
+        prop_assert!(moved.dist(b) <= a.dist(b) + 1e-6);
+    }
+
+    #[test]
+    fn dist_matrix_matches_points(pts in arb_points(30)) {
+        let m = DistMatrix::from_points(&pts);
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                prop_assert!(approx_eq(m.get(i, j), pts[i].dist(pts[j])));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_neighbors_equal_brute_force(
+        pts in arb_points(60),
+        q in arb_point(),
+        radius in 1.0..5e3f64,
+        cell in 1.0..2e3f64,
+    ) {
+        let grid = SpatialGrid::build(&pts, cell);
+        let mut got = grid.neighbors_within(q, radius);
+        got.sort_unstable();
+        let mut want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist(q) <= radius)
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        // Boundary points may flip on fp noise; compare after removing
+        // points within 1e-6 of the radius from both sides.
+        let near_boundary = |i: &u32| (pts[*i as usize].dist(q) - radius).abs() < 1e-6;
+        got.retain(|i| !near_boundary(i));
+        want.retain(|i| !near_boundary(i));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn grid_nearest_equals_brute_force(pts in arb_points(40), q in arb_point()) {
+        let grid = SpatialGrid::build(&pts, 50.0);
+        let got = grid.nearest(q).unwrap();
+        let best = pts
+            .iter()
+            .map(|p| p.dist(q))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(approx_eq(pts[got as usize].dist(q), best));
+    }
+
+    #[test]
+    fn hull_contains_all_points(pts in arb_points(50)) {
+        let hull = convex_hull(&pts);
+        if hull.len() >= 3 {
+            for p in &pts {
+                prop_assert!(hull_contains(&hull, *p));
+            }
+        }
+    }
+
+    #[test]
+    fn hull_perimeter_lower_bounds_any_tour(pts in arb_points(30)) {
+        // Any closed tour through all points is at least the hull perimeter.
+        // (Classic TSP lower bound; here the "tour" is input order.)
+        let perim = hull_perimeter(&pts);
+        let tour_len = closed_tour_length(&pts);
+        prop_assert!(perim <= tour_len + 1e-6);
+    }
+
+    #[test]
+    fn closed_tour_is_rotation_invariant(pts in arb_points(20), rot in 0usize..20) {
+        let n = pts.len();
+        let rot = rot % n;
+        let mut rotated = pts.clone();
+        rotated.rotate_left(rot);
+        prop_assert!(approx_eq(closed_tour_length(&pts), closed_tour_length(&rotated)));
+    }
+
+    #[test]
+    fn arclen_endpoints(pts in arb_points(20)) {
+        let path = ArcLengthPath::new(&pts, false);
+        prop_assert!(approx_eq(path.length(), open_path_length(&pts)));
+        prop_assert!(approx_eq(path.point_at(0.0).dist(pts[0]), 0.0));
+        let end = path.point_at(path.length());
+        prop_assert!(end.dist(*pts.last().unwrap()) < 1e-6);
+    }
+
+    #[test]
+    fn arclen_point_lies_on_path(pts in arb_points(15), frac in 0.0..1.0f64) {
+        let path = ArcLengthPath::new(&pts, true);
+        let p = path.point_at(frac * path.length());
+        // The sampled point is within EPS of some segment of the tour.
+        let mut mind = f64::INFINITY;
+        let n = pts.len();
+        for i in 0..n {
+            let seg = mdg_geom::Segment::new(pts[i], pts[(i + 1) % n]);
+            mind = mind.min(seg.dist_to_point(p));
+        }
+        prop_assert!(mind < 1e-6, "sample {p} off-path by {mind}");
+    }
+
+    #[test]
+    fn aabb_from_points_contains_all(pts in arb_points(40)) {
+        let bb = Aabb::from_points(&pts).unwrap();
+        for p in &pts {
+            prop_assert!(bb.contains(*p));
+        }
+        // Clamping anything lands inside.
+        let clamped = bb.clamp(Point::new(1e9, -1e9));
+        prop_assert!(bb.contains(clamped));
+    }
+}

@@ -1,0 +1,176 @@
+//! Dijkstra shortest paths over weighted CSR graphs.
+//!
+//! The multi-hop baseline can route along minimum-*distance* paths (edge
+//! weights = Euclidean distances, matching a `d^α` energy model) instead of
+//! minimum-hop paths; Dijkstra provides that alternative routing tree.
+
+use crate::graph::Csr;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct DijkstraResult {
+    /// `dist[v]` = weighted distance from the source (`f64::INFINITY` if
+    /// unreachable).
+    pub dist: Vec<f64>,
+    /// `parent[v]` = predecessor on a shortest path (`u32::MAX` for the
+    /// source and unreachable nodes).
+    pub parent: Vec<u32>,
+    /// The source node.
+    pub source: usize,
+}
+
+impl DijkstraResult {
+    /// Reconstructs the path from `v` back to the source (inclusive).
+    /// Returns `None` if `v` is unreachable.
+    pub fn path_to_source(&self, v: usize) -> Option<Vec<u32>> {
+        if !self.dist[v].is_finite() {
+            return None;
+        }
+        let mut path = vec![v as u32];
+        let mut cur = v;
+        while cur != self.source {
+            cur = self.parent[cur] as usize;
+            path.push(cur as u32);
+        }
+        Some(path)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest paths with non-negative edge weights.
+///
+/// # Panics
+/// Panics if `source` is out of range or a negative edge weight is
+/// encountered (debug builds only for the latter).
+pub fn dijkstra(g: &Csr, source: usize) -> DijkstraResult {
+    assert!(source < g.n(), "source out of range");
+    let mut dist = vec![f64::INFINITY; g.n()];
+    let mut parent = vec![u32::MAX; g.n()];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source as u32,
+    });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // Stale entry.
+        }
+        for (v, w) in g.neighbors_weighted(u as usize) {
+            debug_assert!(w >= 0.0, "negative edge weight");
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                parent[v as usize] = u;
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+    DijkstraResult {
+        dist,
+        parent,
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse::bfs_hops;
+
+    /// Weighted triangle plus a pendant:
+    ///   0 —1.0— 1
+    ///   0 —2.5— 2
+    ///   1 —1.0— 2
+    ///   2 —3.0— 3
+    fn weighted() -> Csr {
+        Csr::from_edges(5, &[(0, 1, 1.0), (0, 2, 2.5), (1, 2, 1.0), (2, 3, 3.0)])
+    }
+
+    #[test]
+    fn shortest_distances() {
+        let r = dijkstra(&weighted(), 0);
+        assert_eq!(r.dist[0], 0.0);
+        assert_eq!(r.dist[1], 1.0);
+        assert_eq!(r.dist[2], 2.0, "via node 1, not the direct 2.5 edge");
+        assert_eq!(r.dist[3], 5.0);
+        assert!(r.dist[4].is_infinite());
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let r = dijkstra(&weighted(), 0);
+        assert_eq!(r.path_to_source(3), Some(vec![3, 2, 1, 0]));
+        assert_eq!(r.path_to_source(0), Some(vec![0]));
+        assert_eq!(r.path_to_source(4), None);
+    }
+
+    #[test]
+    fn unit_weights_match_bfs() {
+        let g = Csr::from_edges(
+            8,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (0, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 3, 1.0),
+                (6, 7, 1.0),
+            ],
+        );
+        let d = dijkstra(&g, 0);
+        let h = bfs_hops(&g, 0);
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..8 {
+            if h[v] == crate::UNREACHABLE {
+                assert!(d.dist[v].is_infinite());
+            } else {
+                assert_eq!(d.dist[v] as u32, h[v], "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_from_each_source_is_symmetric() {
+        let g = weighted();
+        #[allow(clippy::needless_range_loop)]
+        for u in 0..g.n() {
+            let du = dijkstra(&g, u);
+            for v in 0..g.n() {
+                let dv = dijkstra(&g, v);
+                let a = du.dist[v];
+                let b = dv.dist[u];
+                if a.is_finite() || b.is_finite() {
+                    assert!((a - b).abs() < 1e-12, "d({u},{v}) symmetric");
+                }
+            }
+        }
+    }
+}

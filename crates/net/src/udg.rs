@@ -1,0 +1,227 @@
+//! Unit-disk communication graphs over a deployment.
+//!
+//! Two radios can communicate iff they are within transmission range `R` of
+//! each other — the standard connectivity model of the paper. [`Network`]
+//! bundles a [`Deployment`], the range, and two CSR graphs: one over the
+//! sensors only (used for connectivity statistics and local aggregation
+//! structure) and one that additionally includes the sink as node
+//! `n_sensors` (used by the multi-hop routing baseline).
+
+use crate::deployment::Deployment;
+use crate::graph::Csr;
+use mdg_geom::{Point, SpatialGrid};
+
+/// Builds the unit-disk graph over `points` with range `range`; edge weights
+/// are Euclidean distances.
+pub fn build_udg(points: &[Point], range: f64) -> Csr {
+    assert!(
+        range > 0.0 && range.is_finite(),
+        "transmission range must be positive"
+    );
+    let n = points.len();
+    if n == 0 {
+        return Csr::from_edges(0, &[]);
+    }
+    let grid = SpatialGrid::build(points, range);
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    for (i, &p) in points.iter().enumerate() {
+        grid.for_each_within(p, range, |j| {
+            if (i as u32) < j {
+                edges.push((i as u32, j, p.dist(points[j as usize])));
+            }
+        });
+    }
+    Csr::from_edges(n, &edges)
+}
+
+/// A sensor network: deployment + transmission range + adjacency.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// The underlying deployment.
+    pub deployment: Deployment,
+    /// Radio transmission range in meters.
+    pub range: f64,
+    /// Unit-disk graph over sensors only (node ids = sensor ids).
+    pub sensor_graph: Csr,
+    /// Unit-disk graph over sensors *plus the sink* as node
+    /// [`Network::sink_node`].
+    pub full_graph: Csr,
+}
+
+impl Network {
+    /// Builds the network graphs for `deployment` with transmission range
+    /// `range`.
+    pub fn build(deployment: Deployment, range: f64) -> Self {
+        let sensor_graph = build_udg(&deployment.sensors, range);
+        let mut all: Vec<Point> = deployment.sensors.clone();
+        all.push(deployment.sink);
+        let full_graph = build_udg(&all, range);
+        Network {
+            deployment,
+            range,
+            sensor_graph,
+            full_graph,
+        }
+    }
+
+    /// Number of sensors.
+    pub fn n_sensors(&self) -> usize {
+        self.deployment.n()
+    }
+
+    /// Node id of the sink in [`Network::full_graph`].
+    pub fn sink_node(&self) -> usize {
+        self.n_sensors()
+    }
+
+    /// Position of a node in the *full* graph (sensor or sink).
+    pub fn position(&self, node: usize) -> Point {
+        if node == self.sink_node() {
+            self.deployment.sink
+        } else {
+            self.deployment.sensors[node]
+        }
+    }
+
+    /// Sensors within `range` of an arbitrary point — i.e. the sensors that
+    /// could upload in a single hop to a collector pausing at `p`.
+    pub fn sensors_within_range_of(&self, p: Point) -> Vec<u32> {
+        let r_sq = self.range * self.range;
+        self.deployment
+            .sensors
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.dist_sq(p) <= r_sq)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Returns `true` if the sensor-only graph is connected (vacuously true
+    /// for ≤ 1 sensors).
+    pub fn is_connected(&self) -> bool {
+        let (count, _) = crate::components::components(&self.sensor_graph);
+        count <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::{DeploymentConfig, SinkPlacement, Topology};
+    use mdg_geom::Aabb;
+
+    fn line_deployment() -> Deployment {
+        // Sensors at x = 0, 10, 20, 35 on a line; sink at 5.
+        Deployment {
+            sensors: vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(20.0, 0.0),
+                Point::new(35.0, 0.0),
+            ],
+            sink: Point::new(5.0, 0.0),
+            field: Aabb::square(40.0),
+        }
+    }
+
+    #[test]
+    fn udg_edges_respect_range() {
+        let d = line_deployment();
+        let g = build_udg(&d.sensors, 10.0);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 2), "20 m apart > 10 m range");
+        assert!(!g.has_edge(2, 3), "15 m apart > 10 m range");
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn udg_matches_brute_force_on_random_field() {
+        let d = DeploymentConfig::uniform(150, 200.0).generate(9);
+        let r = 30.0;
+        let g = build_udg(&d.sensors, r);
+        let mut brute = 0usize;
+        for i in 0..d.n() {
+            for j in (i + 1)..d.n() {
+                let within = d.sensors[i].dist(d.sensors[j]) <= r;
+                assert_eq!(g.has_edge(i, j), within, "pair ({i},{j})");
+                brute += within as usize;
+            }
+        }
+        assert_eq!(g.m(), brute);
+    }
+
+    #[test]
+    fn udg_weights_are_distances() {
+        let d = line_deployment();
+        let g = build_udg(&d.sensors, 10.0);
+        for (u, v, w) in g.edges() {
+            let expect = d.sensors[u as usize].dist(d.sensors[v as usize]);
+            assert!((w - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn network_full_graph_includes_sink() {
+        let net = Network::build(line_deployment(), 10.0);
+        assert_eq!(net.n_sensors(), 4);
+        assert_eq!(net.sink_node(), 4);
+        // Sink at x=5 is within 10 m of sensors at 0 and 10.
+        assert!(net.full_graph.has_edge(4, 0));
+        assert!(net.full_graph.has_edge(4, 1));
+        assert!(!net.full_graph.has_edge(4, 2));
+        assert_eq!(net.position(4), Point::new(5.0, 0.0));
+        assert_eq!(net.position(0), Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn sensors_within_range_of_point() {
+        let net = Network::build(line_deployment(), 10.0);
+        let mut near = net.sensors_within_range_of(Point::new(15.0, 0.0));
+        near.sort_unstable();
+        assert_eq!(near, vec![1, 2]);
+        assert!(net
+            .sensors_within_range_of(Point::new(100.0, 100.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let connected = Network::build(line_deployment(), 15.0);
+        assert!(connected.is_connected());
+        let disconnected = Network::build(line_deployment(), 10.0);
+        assert!(!disconnected.is_connected(), "sensor 3 is isolated at R=10");
+    }
+
+    #[test]
+    fn corridors_are_disconnected_at_small_range() {
+        let cfg = DeploymentConfig {
+            field_side: 300.0,
+            sink: SinkPlacement::Center,
+            topology: Topology::Corridors {
+                bands: 3,
+                per_band: 40,
+                band_height: 15.0,
+            },
+        };
+        let net = Network::build(cfg.generate(3), 30.0);
+        let (count, _) = crate::components::components(&net.sensor_graph);
+        assert!(
+            count >= 3,
+            "bands 85 m apart cannot link at R=30, got {count} components"
+        );
+    }
+
+    #[test]
+    fn empty_network() {
+        let d = Deployment {
+            sensors: vec![],
+            sink: Point::ORIGIN,
+            field: Aabb::square(10.0),
+        };
+        let net = Network::build(d, 5.0);
+        assert_eq!(net.n_sensors(), 0);
+        assert!(net.is_connected());
+        assert_eq!(net.full_graph.n(), 1, "just the sink");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for deployments, unit-disk graphs and traversals.
+
+use mdg_net::{
+    bfs_hops, bfs_tree, components, dijkstra, multi_source_bfs_hops, udg::build_udg, Csr,
+    DeploymentConfig, UNREACHABLE,
+};
+use proptest::prelude::*;
+
+fn arb_udg() -> impl Strategy<Value = (mdg_net::Deployment, f64)> {
+    (5usize..80, 50.0..300.0f64, 10.0..60.0f64, any::<u64>()).prop_map(|(n, side, range, seed)| {
+        (DeploymentConfig::uniform(n, side).generate(seed), range)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn udg_matches_brute_force((dep, range) in arb_udg()) {
+        let g = build_udg(&dep.sensors, range);
+        let mut expect = 0usize;
+        for i in 0..dep.n() {
+            for j in (i + 1)..dep.n() {
+                let d = dep.sensors[i].dist(dep.sensors[j]);
+                if (d - range).abs() > 1e-9 {
+                    prop_assert_eq!(g.has_edge(i, j), d <= range, "pair ({}, {})", i, j);
+                }
+                if d <= range {
+                    expect += 1;
+                }
+            }
+        }
+        prop_assert_eq!(g.m(), expect);
+    }
+
+    #[test]
+    fn bfs_hops_satisfy_edge_relaxation((dep, range) in arb_udg()) {
+        let g = build_udg(&dep.sensors, range);
+        if g.n() == 0 { return Ok(()); }
+        let h = bfs_hops(&g, 0);
+        // For every edge (u,v): |h[u] - h[v]| <= 1 when both reachable.
+        for (u, v, _) in g.edges() {
+            let (hu, hv) = (h[u as usize], h[v as usize]);
+            prop_assert_eq!(hu == UNREACHABLE, hv == UNREACHABLE,
+                "edge endpoints must be equi-reachable");
+            if hu != UNREACHABLE {
+                prop_assert!(hu.abs_diff(hv) <= 1);
+            }
+        }
+        // Hop counts are realized by parent chains.
+        let t = bfs_tree(&g, 0);
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..g.n() {
+            if let Some(path) = t.path_to_source(v) {
+                prop_assert_eq!(path.len() as u32 - 1, h[v]);
+                // Consecutive path nodes are adjacent.
+                for w in path.windows(2) {
+                    prop_assert!(g.has_edge(w[0] as usize, w[1] as usize));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_unit_weights_equal_bfs((dep, range) in arb_udg()) {
+        let g = build_udg(&dep.sensors, range);
+        if g.n() == 0 { return Ok(()); }
+        let unit = Csr::from_edges(
+            g.n(),
+            &g.edges().map(|(u, v, _)| (u, v, 1.0)).collect::<Vec<_>>(),
+        );
+        let h = bfs_hops(&g, 0);
+        let d = dijkstra(&unit, 0);
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..g.n() {
+            if h[v] == UNREACHABLE {
+                prop_assert!(d.dist[v].is_infinite());
+            } else {
+                prop_assert_eq!(d.dist[v] as u32, h[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_respects_triangle_inequality_on_edges((dep, range) in arb_udg()) {
+        let g = build_udg(&dep.sensors, range);
+        if g.n() == 0 { return Ok(()); }
+        let d = dijkstra(&g, 0);
+        for (u, v, w) in g.edges() {
+            let (du, dv) = (d.dist[u as usize], d.dist[v as usize]);
+            if du.is_finite() && dv.is_finite() {
+                prop_assert!(dv <= du + w + 1e-9);
+                prop_assert!(du <= dv + w + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_is_min_of_single_sources((dep, range) in arb_udg()) {
+        let g = build_udg(&dep.sensors, range);
+        if g.n() < 3 { return Ok(()); }
+        let sources = [0usize, g.n() / 2, g.n() - 1];
+        let multi = multi_source_bfs_hops(&g, &sources);
+        let singles: Vec<Vec<u32>> = sources.iter().map(|&s| bfs_hops(&g, s)).collect();
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..g.n() {
+            let want = singles.iter().map(|h| h[v]).min().unwrap();
+            prop_assert_eq!(multi[v], want, "node {}", v);
+        }
+    }
+
+    #[test]
+    fn components_are_bfs_reachability_classes((dep, range) in arb_udg()) {
+        let g = build_udg(&dep.sensors, range);
+        let (_, labels) = components(&g);
+        if g.n() == 0 { return Ok(()); }
+        let h = bfs_hops(&g, 0);
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..g.n() {
+            prop_assert_eq!(h[v] != UNREACHABLE, labels[v] == labels[0], "node {}", v);
+        }
+    }
+
+    #[test]
+    fn deployment_is_reproducible(n in 1usize..100, side in 10.0..500.0f64, seed in any::<u64>()) {
+        let cfg = DeploymentConfig::uniform(n, side);
+        let a = cfg.generate(seed);
+        let b = cfg.generate(seed);
+        prop_assert_eq!(&a.sensors, &b.sensors);
+        prop_assert_eq!(a.sink, b.sink);
+        for p in &a.sensors {
+            prop_assert!(a.field.contains(*p));
+        }
+    }
+}

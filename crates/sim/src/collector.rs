@@ -1,0 +1,219 @@
+//! Time-parameterized collector trajectories.
+//!
+//! The DES in [`crate::mobile`] answers *when* things happen; this module
+//! answers *where the collector is* at any instant — the primitive needed
+//! for animation, rendezvous analysis, or co-simulation with other mobile
+//! entities. A [`Trajectory`] is built from a [`GatheringPlan`] assuming
+//! constant driving speed and a fixed pause per packet at each stop (the
+//! same model the DES uses when relays are instantaneous).
+
+use mdg_core::GatheringPlan;
+use mdg_geom::Point;
+
+/// One piece of the trajectory: the collector moves (or pauses, when
+/// `from == to`) between `start_t` and `end_t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Piece {
+    start_t: f64,
+    end_t: f64,
+    from: Point,
+    to: Point,
+}
+
+/// A collector's full round trajectory: sink → stops… → sink, with pauses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    pieces: Vec<Piece>,
+    arrivals: Vec<f64>,
+}
+
+impl Trajectory {
+    /// Builds the trajectory for `plan` at `speed_mps` with `upload_secs`
+    /// pause per packet served at each stop.
+    ///
+    /// # Panics
+    /// Panics if `speed_mps` is not positive.
+    pub fn from_plan(plan: &GatheringPlan, speed_mps: f64, upload_secs: f64) -> Trajectory {
+        assert!(speed_mps > 0.0, "collector speed must be positive");
+        assert!(upload_secs >= 0.0, "upload time must be non-negative");
+        let mut pieces = Vec::new();
+        let mut arrivals = Vec::with_capacity(plan.n_polling_points());
+        let mut t = 0.0;
+        let mut pos = plan.sink;
+        for pp in &plan.polling_points {
+            let travel = pos.dist(pp.pos) / speed_mps;
+            pieces.push(Piece {
+                start_t: t,
+                end_t: t + travel,
+                from: pos,
+                to: pp.pos,
+            });
+            t += travel;
+            arrivals.push(t);
+            let pause = upload_secs * pp.covered.len() as f64;
+            if pause > 0.0 {
+                pieces.push(Piece {
+                    start_t: t,
+                    end_t: t + pause,
+                    from: pp.pos,
+                    to: pp.pos,
+                });
+                t += pause;
+            }
+            pos = pp.pos;
+        }
+        let home = pos.dist(plan.sink) / speed_mps;
+        if plan.n_polling_points() > 0 {
+            pieces.push(Piece {
+                start_t: t,
+                end_t: t + home,
+                from: pos,
+                to: plan.sink,
+            });
+        }
+        Trajectory { pieces, arrivals }
+    }
+
+    /// Total round time in seconds.
+    pub fn total_time(&self) -> f64 {
+        self.pieces.last().map_or(0.0, |p| p.end_t)
+    }
+
+    /// Arrival time at each polling point, in tour order.
+    pub fn arrival_times(&self) -> &[f64] {
+        &self.arrivals
+    }
+
+    /// Collector position at time `t` (clamped to `[0, total_time]`).
+    pub fn position_at(&self, t: f64) -> Point {
+        let Some(first) = self.pieces.first() else {
+            return Point::ORIGIN;
+        };
+        if t <= first.start_t {
+            return first.from;
+        }
+        // Binary search the piece containing t.
+        let idx = self
+            .pieces
+            .partition_point(|p| p.end_t < t)
+            .min(self.pieces.len() - 1);
+        let p = &self.pieces[idx];
+        let dur = p.end_t - p.start_t;
+        if dur <= 0.0 {
+            return p.to;
+        }
+        let frac = ((t - p.start_t) / dur).clamp(0.0, 1.0);
+        p.from.lerp(p.to, frac)
+    }
+
+    /// Samples the trajectory every `dt` seconds (inclusive of both ends).
+    pub fn sample(&self, dt: f64) -> Vec<(f64, Point)> {
+        assert!(dt > 0.0, "sample interval must be positive");
+        let total = self.total_time();
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t < total {
+            out.push((t, self.position_at(t)));
+            t += dt;
+        }
+        out.push((total, self.position_at(total)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scenario_from_plan, MobileGatheringSim, SimConfig};
+    use mdg_core::ShdgPlanner;
+    use mdg_net::{DeploymentConfig, Network};
+
+    fn plan() -> (GatheringPlan, Network) {
+        let net = Network::build(DeploymentConfig::uniform(80, 200.0).generate(6), 30.0);
+        (ShdgPlanner::new().plan(&net).unwrap(), net)
+    }
+
+    #[test]
+    fn total_time_matches_plan_estimate_and_des() {
+        let (plan, net) = plan();
+        let cfg = SimConfig::default();
+        let traj = Trajectory::from_plan(&plan, cfg.speed_mps, cfg.upload_secs);
+        let estimate = plan.collection_time(cfg.speed_mps, cfg.upload_secs);
+        assert!((traj.total_time() - estimate).abs() < 1e-9);
+        // And the DES (with instantaneous relays) agrees.
+        let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+        let round = MobileGatheringSim::new(scen, cfg).run();
+        assert!((traj.total_time() - round.duration_secs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn starts_and_ends_at_the_sink() {
+        let (plan, _) = plan();
+        let traj = Trajectory::from_plan(&plan, 1.0, 0.5);
+        assert_eq!(traj.position_at(0.0), plan.sink);
+        assert!(traj.position_at(traj.total_time()).dist(plan.sink) < 1e-9);
+        // Clamping beyond the round.
+        assert!(traj.position_at(traj.total_time() + 100.0).dist(plan.sink) < 1e-9);
+        assert_eq!(traj.position_at(-5.0), plan.sink);
+    }
+
+    #[test]
+    fn collector_is_at_each_stop_at_its_arrival_time() {
+        let (plan, _) = plan();
+        let traj = Trajectory::from_plan(&plan, 1.0, 0.5);
+        let arrivals = traj.arrival_times().to_vec();
+        assert_eq!(arrivals.len(), plan.n_polling_points());
+        for (k, &t) in arrivals.iter().enumerate() {
+            let pos = traj.position_at(t);
+            assert!(
+                pos.dist(plan.polling_points[k].pos) < 1e-9,
+                "stop {k}: at {pos} expected {}",
+                plan.polling_points[k].pos
+            );
+        }
+        // Arrivals are strictly increasing.
+        for w in arrivals.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn pauses_hold_position() {
+        let (plan, _) = plan();
+        let upload = 2.0;
+        let traj = Trajectory::from_plan(&plan, 1.0, upload);
+        let t_arrive = traj.arrival_times()[0];
+        let pause = upload * plan.polling_points[0].covered.len() as f64;
+        let during = traj.position_at(t_arrive + 0.5 * pause);
+        assert!(during.dist(plan.polling_points[0].pos) < 1e-9);
+    }
+
+    #[test]
+    fn speed_is_respected_between_samples() {
+        let (plan, _) = plan();
+        let speed = 2.0;
+        let traj = Trajectory::from_plan(&plan, speed, 0.5);
+        let samples = traj.sample(0.25);
+        for w in samples.windows(2) {
+            let dt = w[1].0 - w[0].0;
+            let dist = w[0].1.dist(w[1].1);
+            assert!(
+                dist <= speed * dt + 1e-6,
+                "moved {dist} m in {dt} s at {speed} m/s"
+            );
+        }
+        // The samples end exactly at the total time.
+        assert!((samples.last().unwrap().0 - traj.total_time()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_plan_trajectory() {
+        let empty = GatheringPlan::new(Point::new(3.0, 4.0), vec![], vec![]);
+        let traj = Trajectory::from_plan(&empty, 1.0, 1.0);
+        assert_eq!(traj.total_time(), 0.0);
+        assert!(traj.arrival_times().is_empty());
+        // No pieces: position falls back to the origin (documented quirk of
+        // an empty trajectory — there is nowhere meaningful to be).
+        assert_eq!(traj.position_at(0.0), Point::ORIGIN);
+    }
+}

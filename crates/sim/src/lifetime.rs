@@ -1,0 +1,227 @@
+//! Network-lifetime simulation: rounds against batteries until death
+//! milestones.
+
+use crate::report::RoundReport;
+use mdg_energy::Battery;
+
+/// Anything that can execute one data-gathering round given the current
+/// alive mask. Implemented by [`crate::MobileGatheringSim`] and
+/// [`crate::MultihopRoutingSim`].
+///
+/// `round` must be a *deterministic function of the alive mask*: the
+/// lifetime driver reuses a round's report while the mask is unchanged.
+pub trait RoundScheme {
+    /// Number of sensor nodes.
+    fn n_nodes(&self) -> usize;
+    /// Executes one round; returns its report (energy, delivery, timing).
+    fn round(&mut self, alive: &[bool]) -> RoundReport;
+}
+
+/// Outcome of a lifetime simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifetimeReport {
+    /// Round at which the first sensor died (1-based), if any sensor died
+    /// within the cap.
+    pub first_death_round: Option<u64>,
+    /// Round at which ≥ 10% of sensors were dead.
+    pub ten_pct_death_round: Option<u64>,
+    /// Round at which ≥ 50% of sensors were dead.
+    pub half_death_round: Option<u64>,
+    /// Rounds actually executed.
+    pub rounds_run: u64,
+    /// Alive sensors at the end.
+    pub alive_at_end: usize,
+    /// Total packets delivered over the whole simulation.
+    pub total_delivered: u64,
+}
+
+/// Simulates rounds until ≥ 50% of sensors are dead, energy stops being
+/// consumed, or `max_rounds` is reached. All sensors start with
+/// `battery_joules`.
+///
+/// Death is evaluated *between* rounds (a sensor participates fully in the
+/// round that kills it — the standard convention in lifetime studies).
+///
+/// ```
+/// use mdg_core::ShdgPlanner;
+/// use mdg_net::{DeploymentConfig, Network};
+/// use mdg_sim::{scenario_from_plan, simulate_lifetime, MobileGatheringSim, SimConfig};
+///
+/// let net = Network::build(DeploymentConfig::uniform(40, 150.0).generate(1), 30.0);
+/// let plan = ShdgPlanner::new().plan(&net).unwrap();
+/// let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+/// let mut sim = MobileGatheringSim::new(scen, SimConfig::default());
+/// let life = simulate_lifetime(&mut sim, 0.01, 100_000);
+/// assert!(life.first_death_round.is_some());
+/// ```
+pub fn simulate_lifetime<S: RoundScheme>(
+    scheme: &mut S,
+    battery_joules: f64,
+    max_rounds: u64,
+) -> LifetimeReport {
+    let n = scheme.n_nodes();
+    let mut batteries = vec![Battery::new(battery_joules); n];
+    let mut alive = vec![true; n];
+    let mut report = LifetimeReport {
+        first_death_round: None,
+        ten_pct_death_round: None,
+        half_death_round: None,
+        rounds_run: 0,
+        alive_at_end: n,
+        total_delivered: 0,
+    };
+    if n == 0 {
+        return report;
+    }
+    let ten_pct = n.div_ceil(10);
+    let half = n.div_ceil(2);
+
+    // Both simulators are deterministic functions of the alive mask, and
+    // the mask only changes when someone dies — so identical consecutive
+    // rounds can reuse the previous report instead of re-simulating.
+    // Cloning a ledger is orders of magnitude cheaper than a DES round,
+    // which is what makes 10⁴-round lifetimes practical.
+    let mut cache: Option<(Vec<bool>, RoundReport)> = None;
+
+    for round in 1..=max_rounds {
+        let r = match &cache {
+            Some((mask, report)) if *mask == alive => report.clone(),
+            _ => {
+                let fresh = scheme.round(&alive);
+                cache = Some((alive.clone(), fresh.clone()));
+                fresh
+            }
+        };
+        report.rounds_run = round;
+        report.total_delivered += r.packets_delivered as u64;
+        if r.ledger.total_joules() <= 0.0 {
+            // Nothing is being spent (e.g. everyone relevant is dead or
+            // disconnected): further rounds change nothing.
+            break;
+        }
+        let mut dead = 0usize;
+        for node in 0..n {
+            if alive[node] {
+                batteries[node].drain(r.ledger.joules_of(node));
+                if batteries[node].is_dead() {
+                    alive[node] = false;
+                }
+            }
+            if !alive[node] {
+                dead += 1;
+            }
+        }
+        if dead >= 1 && report.first_death_round.is_none() {
+            report.first_death_round = Some(round);
+        }
+        if dead >= ten_pct && report.ten_pct_death_round.is_none() {
+            report.ten_pct_death_round = Some(round);
+        }
+        if dead >= half && report.half_death_round.is_none() {
+            report.half_death_round = Some(round);
+            break;
+        }
+    }
+    report.alive_at_end = alive.iter().filter(|&&a| a).count();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdg_energy::{EnergyLedger, RadioModel};
+
+    /// A fake scheme draining fixed joules per round: node 0 drains fast,
+    /// node 1 slow, node 2 never.
+    struct FakeScheme {
+        drains: Vec<f64>,
+    }
+
+    impl RoundScheme for FakeScheme {
+        fn n_nodes(&self) -> usize {
+            self.drains.len()
+        }
+        fn round(&mut self, alive: &[bool]) -> RoundReport {
+            let model = RadioModel {
+                e_elec: 1.0,
+                e_amp: 0.0,
+                alpha: 2.0,
+                packet_bits: 1.0,
+            };
+            let mut ledger = EnergyLedger::new(self.drains.len(), model);
+            let mut delivered = 0;
+            for (node, &d) in self.drains.iter().enumerate() {
+                if alive[node] && d > 0.0 {
+                    // Charge `d` joules as d transmissions at distance 0
+                    // (e_elec = 1 J/bit, 1-bit packets).
+                    for _ in 0..(d as usize) {
+                        ledger.record_tx(node, 0.0);
+                    }
+                    delivered += 1;
+                }
+            }
+            RoundReport {
+                duration_secs: 1.0,
+                packets_delivered: delivered,
+                packets_expected: alive.iter().filter(|&&a| a).count(),
+                ledger,
+            }
+        }
+    }
+
+    #[test]
+    fn milestones_in_order() {
+        // Batteries of 10 J; drains 5, 2, 1 J/round → deaths at rounds 2,
+        // 5, 10.
+        let mut scheme = FakeScheme {
+            drains: vec![5.0, 2.0, 1.0],
+        };
+        let report = simulate_lifetime(&mut scheme, 10.0, 100);
+        assert_eq!(report.first_death_round, Some(2));
+        assert_eq!(report.ten_pct_death_round, Some(2), "ceil(0.3) = 1 death");
+        assert_eq!(report.half_death_round, Some(5), "ceil(1.5) = 2 deaths");
+        assert_eq!(report.rounds_run, 5, "stops at the half-death milestone");
+        assert_eq!(report.alive_at_end, 1);
+    }
+
+    #[test]
+    fn uniform_drain_dies_all_at_once() {
+        let mut scheme = FakeScheme {
+            drains: vec![2.0; 10],
+        };
+        let report = simulate_lifetime(&mut scheme, 10.0, 100);
+        assert_eq!(report.first_death_round, Some(5));
+        assert_eq!(report.ten_pct_death_round, Some(5));
+        assert_eq!(report.half_death_round, Some(5));
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let mut scheme = FakeScheme {
+            drains: vec![1.0, 1.0],
+        };
+        let report = simulate_lifetime(&mut scheme, 1e9, 7);
+        assert_eq!(report.rounds_run, 7);
+        assert_eq!(report.first_death_round, None);
+        assert_eq!(report.alive_at_end, 2);
+        assert_eq!(report.total_delivered, 14);
+    }
+
+    #[test]
+    fn zero_consumption_terminates_early() {
+        let mut scheme = FakeScheme {
+            drains: vec![0.0, 0.0],
+        };
+        let report = simulate_lifetime(&mut scheme, 10.0, 1000);
+        assert_eq!(report.rounds_run, 1, "break after the first no-spend round");
+        assert_eq!(report.first_death_round, None);
+    }
+
+    #[test]
+    fn empty_scheme() {
+        let mut scheme = FakeScheme { drains: vec![] };
+        let report = simulate_lifetime(&mut scheme, 10.0, 10);
+        assert_eq!(report.rounds_run, 0);
+        assert_eq!(report.alive_at_end, 0);
+    }
+}

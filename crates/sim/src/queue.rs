@@ -1,0 +1,176 @@
+//! The discrete-event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the event queue: fires at `time`; `seq` makes ordering
+/// FIFO-stable among equal times (and total, sidestepping NaN).
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for min-heap behavior on a max-heap.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue: events pop in non-decreasing time order;
+/// events scheduled for the same instant pop in insertion (FIFO) order.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulation time (the time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN or earlier than the current time (causality).
+    pub fn schedule(&mut self, time: f64, event: E) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(
+            time >= self.now - 1e-12,
+            "cannot schedule into the past: t={time} < now={}",
+            self.now
+        );
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay` seconds from now.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(delay >= 0.0, "delay must be non-negative");
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.now(), 1.0);
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(5.0, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((5.0, i)));
+        }
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, "later");
+        q.pop();
+        q.schedule_in(2.5, "relative");
+        assert_eq!(q.pop(), Some((12.5, "relative")));
+    }
+
+    #[test]
+    fn interleaved_scheduling() {
+        // Popping an event may schedule new ones; ordering must hold.
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1u32);
+        let mut seen = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            seen.push((t, e));
+            if e < 4 {
+                q.schedule_in(1.0, e + 1);
+                q.schedule_in(0.5, 100 + e);
+            }
+        }
+        // Times are non-decreasing.
+        for w in seen.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_eq!(seen.len(), 7, "1..4 plus three 100+ interleavings");
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn causality_violation_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+}

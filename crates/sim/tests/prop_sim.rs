@@ -1,0 +1,103 @@
+//! Property-based and failure-injection tests for the simulator.
+
+use mdg_core::ShdgPlanner;
+use mdg_net::{DeploymentConfig, Network};
+use mdg_sim::{
+    scenario_from_plan, simulate_lifetime, MobileGatheringSim, MultihopRoutingSim, SimConfig,
+};
+use proptest::prelude::*;
+
+fn arb_net_and_mask() -> impl Strategy<Value = (Network, Vec<bool>)> {
+    (10usize..80, any::<u64>()).prop_flat_map(|(n, seed)| {
+        let net = Network::build(DeploymentConfig::uniform(n, 180.0).generate(seed), 30.0);
+        let mask = proptest::collection::vec(any::<bool>(), n);
+        (Just(net), mask)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Failure injection: any subset of sensors may be dead; the mobile
+    /// round must terminate, never over-deliver, and charge energy only to
+    /// alive nodes.
+    #[test]
+    fn mobile_round_survives_any_death_pattern((net, alive) in arb_net_and_mask()) {
+        let plan = ShdgPlanner::new().plan(&net).unwrap();
+        let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+        let sim = MobileGatheringSim::new(scen, SimConfig::default());
+        let r = sim.run_round(&alive);
+        let n_alive = alive.iter().filter(|&&a| a).count();
+        prop_assert_eq!(r.packets_expected, n_alive);
+        // SHDG has no relays: every alive sensor's packet IS delivered.
+        prop_assert_eq!(r.packets_delivered, n_alive);
+        prop_assert!(r.duration_secs >= 0.0);
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..net.n_sensors() {
+            if !alive[s] {
+                prop_assert_eq!(r.ledger.tx_of(s), 0, "dead sensor {} transmitted", s);
+                prop_assert!(r.ledger.joules_of(s) == 0.0);
+            } else {
+                prop_assert_eq!(r.ledger.tx_of(s), 1, "alive sensor {} must upload once", s);
+            }
+        }
+    }
+
+    /// The same for multi-hop routing: energy only on the alive subgraph,
+    /// delivery = sensors still connected to the sink.
+    #[test]
+    fn routing_round_survives_any_death_pattern((net, alive) in arb_net_and_mask()) {
+        let sim = MultihopRoutingSim::new(&net, SimConfig::default());
+        let r = sim.run_round(&alive);
+        let n_alive = alive.iter().filter(|&&a| a).count();
+        prop_assert_eq!(r.packets_expected, n_alive);
+        prop_assert!(r.packets_delivered <= n_alive);
+        #[allow(clippy::needless_range_loop)]
+        for s in 0..net.n_sensors() {
+            if !alive[s] {
+                prop_assert_eq!(r.ledger.tx_of(s), 0);
+                prop_assert_eq!(r.ledger.rx_of(s), 0);
+            }
+        }
+        // Flow conservation: tx − rx = packets that left the sensor layer.
+        prop_assert_eq!(
+            r.ledger.total_tx() as i64 - r.ledger.total_rx() as i64,
+            r.packets_delivered as i64
+        );
+    }
+
+    /// Lifetime runs terminate and produce ordered milestones.
+    #[test]
+    fn lifetime_milestones_are_ordered(seed in any::<u64>(), battery in 0.001..0.1f64) {
+        let net = Network::build(DeploymentConfig::uniform(30, 120.0).generate(seed), 30.0);
+        let plan = ShdgPlanner::new().plan(&net).unwrap();
+        let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+        let mut sim = MobileGatheringSim::new(scen, SimConfig::default());
+        let life = simulate_lifetime(&mut sim, battery, 1_000_000);
+        if let (Some(first), Some(ten)) = (life.first_death_round, life.ten_pct_death_round) {
+            prop_assert!(first <= ten);
+        }
+        if let (Some(ten), Some(half)) = (life.ten_pct_death_round, life.half_death_round) {
+            prop_assert!(ten <= half);
+        }
+        prop_assert!(life.rounds_run >= 1);
+        prop_assert!(life.alive_at_end <= net.n_sensors());
+    }
+
+    /// Faster collectors and shorter uploads strictly shorten the round.
+    #[test]
+    fn round_duration_is_monotone_in_parameters(seed in any::<u64>()) {
+        let net = Network::build(DeploymentConfig::uniform(40, 150.0).generate(seed), 30.0);
+        let plan = ShdgPlanner::new().plan(&net).unwrap();
+        let run = |speed: f64, upload: f64| {
+            let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+            let cfg = SimConfig { speed_mps: speed, upload_secs: upload, ..SimConfig::default() };
+            MobileGatheringSim::new(scen, cfg).run().duration_secs
+        };
+        let slow = run(0.5, 1.0);
+        let fast = run(2.0, 1.0);
+        let no_pause = run(0.5, 0.0);
+        prop_assert!(fast < slow);
+        prop_assert!(no_pause <= slow);
+    }
+}

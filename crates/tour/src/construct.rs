@@ -1,0 +1,417 @@
+//! Tour construction heuristics.
+//!
+//! All constructors produce a closed [`Tour`] over all `n` cities starting
+//! at the depot (city `0`). The paper's simulations use nearest neighbor;
+//! the planner default is cheapest insertion + local search, and the MST
+//! double-tree construction provides a provable 2-approximation used as a
+//! sanity bound in tests.
+
+use crate::cost::CostMatrix;
+use crate::tour::Tour;
+
+/// Nearest-neighbor construction from the depot: repeatedly visit the
+/// closest unvisited city. `O(n²)`.
+pub fn nearest_neighbor<C: CostMatrix>(cost: &C) -> Tour {
+    let n = cost.n();
+    if n == 0 {
+        return Tour::identity(0);
+    }
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut current = 0usize;
+    visited[0] = true;
+    order.push(0);
+    for _ in 1..n {
+        let mut best = usize::MAX;
+        let mut best_d = f64::INFINITY;
+        #[allow(clippy::needless_range_loop)]
+        for next in 0..n {
+            if !visited[next] {
+                let d = cost.cost(current, next);
+                if d < best_d {
+                    best_d = d;
+                    best = next;
+                }
+            }
+        }
+        visited[best] = true;
+        order.push(best);
+        current = best;
+    }
+    Tour::from_order_unchecked(order)
+}
+
+/// Greedy-edge construction: sort all edges by cost and add an edge
+/// whenever both endpoints have degree < 2 and it does not close a
+/// premature cycle. `O(n² log n)`.
+pub fn greedy_edge<C: CostMatrix>(cost: &C) -> Tour {
+    let n = cost.n();
+    if n <= 2 {
+        return Tour::identity(n);
+    }
+    let mut edges: Vec<(f64, u32, u32)> = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            edges.push((cost.cost(i, j), i as u32, j as u32));
+        }
+    }
+    edges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+    let mut degree = vec![0u8; n];
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let mut adj: Vec<[u32; 2]> = vec![[u32::MAX; 2]; n];
+    let mut added = 0usize;
+    for (_, u, v) in edges {
+        if added == n {
+            break;
+        }
+        let (ui, vi) = (u as usize, v as usize);
+        if degree[ui] >= 2 || degree[vi] >= 2 {
+            continue;
+        }
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        // Allow the cycle-closing edge only as the very last one.
+        if ru == rv && added != n - 1 {
+            continue;
+        }
+        parent[ru as usize] = rv;
+        adj[ui][degree[ui] as usize] = v;
+        adj[vi][degree[vi] as usize] = u;
+        degree[ui] += 1;
+        degree[vi] += 1;
+        added += 1;
+    }
+    debug_assert_eq!(added, n, "greedy edge must complete a Hamiltonian cycle");
+
+    // Walk the cycle starting at the depot.
+    let mut order = Vec::with_capacity(n);
+    let mut prev = u32::MAX;
+    let mut cur = 0u32;
+    for _ in 0..n {
+        order.push(cur as usize);
+        let next = if adj[cur as usize][0] != prev {
+            adj[cur as usize][0]
+        } else {
+            adj[cur as usize][1]
+        };
+        prev = cur;
+        cur = next;
+    }
+    Tour::from_order_unchecked(order)
+}
+
+/// Cheapest-insertion construction: start from the depot and its nearest
+/// city; repeatedly insert the city with the cheapest insertion delta at
+/// its best position. `O(n²)` with incremental best-position tracking.
+pub fn cheapest_insertion<C: CostMatrix>(cost: &C) -> Tour {
+    let n = cost.n();
+    if n <= 2 {
+        return Tour::identity(n);
+    }
+    // Seed: depot plus its nearest city.
+    let seed = (1..n)
+        .min_by(|&a, &b| cost.cost(0, a).partial_cmp(&cost.cost(0, b)).unwrap())
+        .unwrap();
+    let mut order = vec![0usize, seed];
+    let mut in_tour = vec![false; n];
+    in_tour[0] = true;
+    in_tour[seed] = true;
+
+    while order.len() < n {
+        let mut best_city = usize::MAX;
+        let mut best_pos = 0usize;
+        let mut best_delta = f64::INFINITY;
+        #[allow(clippy::needless_range_loop)]
+        for city in 0..n {
+            if in_tour[city] {
+                continue;
+            }
+            for pos in 0..order.len() {
+                let a = order[pos];
+                let b = order[(pos + 1) % order.len()];
+                let delta = cost.cost(a, city) + cost.cost(city, b) - cost.cost(a, b);
+                if delta < best_delta {
+                    best_delta = delta;
+                    best_city = city;
+                    best_pos = pos + 1;
+                }
+            }
+        }
+        order.insert(best_pos, best_city);
+        in_tour[best_city] = true;
+    }
+    Tour::from_order_unchecked(order).normalized()
+}
+
+/// Prim's MST over the complete cost graph; returns `parent[v]` with the
+/// depot as root (`parent[0] == usize::MAX`).
+pub(crate) fn prim_mst<C: CostMatrix>(cost: &C) -> Vec<usize> {
+    let n = cost.n();
+    let mut parent = vec![usize::MAX; n];
+    if n == 0 {
+        return parent;
+    }
+    let mut in_tree = vec![false; n];
+    let mut best = vec![f64::INFINITY; n];
+    let mut best_from = vec![usize::MAX; n];
+    best[0] = 0.0;
+    for _ in 0..n {
+        let u = (0..n)
+            .filter(|&v| !in_tree[v])
+            .min_by(|&a, &b| best[a].partial_cmp(&best[b]).unwrap())
+            .unwrap();
+        in_tree[u] = true;
+        parent[u] = best_from[u];
+        for v in 0..n {
+            if !in_tree[v] {
+                let d = cost.cost(u, v);
+                if d < best[v] {
+                    best[v] = d;
+                    best_from[v] = u;
+                }
+            }
+        }
+    }
+    parent
+}
+
+/// MST double-tree 2-approximation: preorder walk of the MST rooted at the
+/// depot, children visited nearest-first. Guarantees length ≤ 2·OPT for
+/// metric costs.
+pub fn mst_2approx<C: CostMatrix>(cost: &C) -> Tour {
+    let n = cost.n();
+    if n <= 2 {
+        return Tour::identity(n);
+    }
+    let parent = prim_mst(cost);
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for v in 1..n {
+        children[parent[v]].push(v);
+    }
+    for (u, ch) in children.iter_mut().enumerate() {
+        ch.sort_by(|&a, &b| cost.cost(u, a).partial_cmp(&cost.cost(u, b)).unwrap());
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut stack = vec![0usize];
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        // Push reversed so the nearest child is visited first.
+        for &c in children[u].iter().rev() {
+            stack.push(c);
+        }
+    }
+    Tour::from_order_unchecked(order)
+}
+
+/// Christofides-style construction: MST + greedy minimum-weight matching on
+/// odd-degree vertices + Euler tour + shortcutting. The greedy matching
+/// forfeits the 1.5-approximation proof but behaves close to it in
+/// practice.
+pub fn christofides_like<C: CostMatrix>(cost: &C) -> Tour {
+    let n = cost.n();
+    if n <= 3 {
+        return Tour::identity(n);
+    }
+    let parent = prim_mst(cost);
+    // Multigraph adjacency of MST edges.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for v in 1..n {
+        adj[v].push(parent[v]);
+        adj[parent[v]].push(v);
+    }
+    // Odd-degree vertices; there is always an even number of them.
+    let mut odd: Vec<usize> = (0..n).filter(|&v| adj[v].len() % 2 == 1).collect();
+    // Greedy matching: repeatedly match the globally closest odd pair.
+    while !odd.is_empty() {
+        let mut best = (0usize, 1usize);
+        let mut best_d = f64::INFINITY;
+        for i in 0..odd.len() {
+            for j in (i + 1)..odd.len() {
+                let d = cost.cost(odd[i], odd[j]);
+                if d < best_d {
+                    best_d = d;
+                    best = (i, j);
+                }
+            }
+        }
+        let (i, j) = best;
+        let (u, v) = (odd[i], odd[j]);
+        adj[u].push(v);
+        adj[v].push(u);
+        // Remove j first (it is the larger index).
+        odd.swap_remove(j);
+        odd.swap_remove(i);
+    }
+    // Hierholzer's algorithm for an Eulerian circuit from the depot.
+    let mut used: Vec<Vec<bool>> = adj.iter().map(|a| vec![false; a.len()]).collect();
+    let mut next_edge = vec![0usize; n];
+    let mut circuit = Vec::new();
+    let mut stack = vec![0usize];
+    while let Some(&u) = stack.last() {
+        // Advance past used edges.
+        while next_edge[u] < adj[u].len() && used[u][next_edge[u]] {
+            next_edge[u] += 1;
+        }
+        if next_edge[u] == adj[u].len() {
+            circuit.push(u);
+            stack.pop();
+        } else {
+            let idx = next_edge[u];
+            let v = adj[u][idx];
+            used[u][idx] = true;
+            // Mark the reverse edge used.
+            let ridx = adj[v]
+                .iter()
+                .enumerate()
+                .position(|(k, &w)| w == u && !used[v][k])
+                .expect("multigraph reverse edge");
+            used[v][ridx] = true;
+            stack.push(v);
+        }
+    }
+    // Shortcut repeated vertices.
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for &v in &circuit {
+        if !seen[v] {
+            seen[v] = true;
+            order.push(v);
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    Tour::from_order_unchecked(order).normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{EuclideanCost, MatrixCost};
+    use mdg_geom::Point;
+
+    fn ring(n: usize, radius: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = std::f64::consts::TAU * i as f64 / n as f64;
+                Point::new(radius * a.cos(), radius * a.sin())
+            })
+            .collect()
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect()
+    }
+
+    fn assert_valid_tour(t: &Tour, n: usize) {
+        assert_eq!(t.len(), n);
+        let mut sorted = t.order().to_vec();
+        sorted.sort_unstable();
+        assert!(sorted.iter().copied().eq(0..n), "must be a permutation");
+    }
+
+    #[test]
+    fn all_constructors_produce_permutations() {
+        let pts = random_points(25, 7);
+        let cost = MatrixCost::from_points(&pts);
+        for (name, t) in [
+            ("nn", nearest_neighbor(&cost)),
+            ("greedy", greedy_edge(&cost)),
+            ("ci", cheapest_insertion(&cost)),
+            ("mst", mst_2approx(&cost)),
+            ("christo", christofides_like(&cost)),
+        ] {
+            assert_valid_tour(&t, 25);
+            assert!(t.length(&cost) > 0.0, "{name} produced a zero-length tour");
+        }
+    }
+
+    #[test]
+    fn ring_is_solved_optimally_by_all() {
+        // On a convex ring the optimal tour is the ring itself.
+        let pts = ring(12, 50.0);
+        let cost = MatrixCost::from_points(&pts);
+        let opt = Tour::identity(12).length(&cost);
+        for t in [
+            nearest_neighbor(&cost),
+            greedy_edge(&cost),
+            cheapest_insertion(&cost),
+            christofides_like(&cost),
+        ] {
+            assert!(
+                (t.length(&cost) - opt).abs() < 1e-6,
+                "ring tour should be optimal, got {} vs {}",
+                t.length(&cost),
+                opt
+            );
+        }
+    }
+
+    #[test]
+    fn mst_2approx_respects_bound_vs_hull() {
+        // Hull perimeter lower-bounds OPT, so MST tour ≤ 2·OPT implies
+        // it is at most twice any upper bound; cross-check with cheapest
+        // insertion instead: mst ≤ 2 × (best known).
+        let pts = random_points(40, 3);
+        let cost = MatrixCost::from_points(&pts);
+        let mst_len = mst_2approx(&cost).length(&cost);
+        let ci_len = cheapest_insertion(&cost).length(&cost);
+        assert!(mst_len <= 2.0 * ci_len + 1e-9);
+    }
+
+    #[test]
+    fn constructors_start_at_depot() {
+        let pts = random_points(15, 11);
+        let cost = MatrixCost::from_points(&pts);
+        assert_eq!(nearest_neighbor(&cost).order()[0], 0);
+        assert_eq!(cheapest_insertion(&cost).order()[0], 0);
+        assert_eq!(mst_2approx(&cost).order()[0], 0);
+        assert_eq!(christofides_like(&cost).order()[0], 0);
+        assert_eq!(greedy_edge(&cost).order()[0], 0);
+    }
+
+    #[test]
+    fn tiny_instances() {
+        for n in 0..=3usize {
+            let pts = ring(n.max(1), 10.0)[..n].to_vec();
+            let cost = EuclideanCost::new(&pts);
+            for t in [
+                nearest_neighbor(&cost),
+                greedy_edge(&cost),
+                cheapest_insertion(&cost),
+                mst_2approx(&cost),
+                christofides_like(&cost),
+            ] {
+                assert_valid_tour(&t, n);
+            }
+        }
+    }
+
+    #[test]
+    fn nn_greedy_choice_on_line() {
+        // Cities on a line: NN from the depot sweeps right then is forced
+        // back; order is deterministic.
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+        let cost = EuclideanCost::new(&pts);
+        let t = nearest_neighbor(&cost);
+        assert_eq!(t.order(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn prim_mst_total_weight_on_line() {
+        let pts: Vec<Point> = (0..4).map(|i| Point::new(i as f64 * 2.0, 0.0)).collect();
+        let cost = EuclideanCost::new(&pts);
+        let parent = prim_mst(&cost);
+        let weight: f64 = (1..4).map(|v| cost.cost(v, parent[v])).sum();
+        assert!((weight - 6.0).abs() < 1e-12, "chain of three 2 m edges");
+    }
+}

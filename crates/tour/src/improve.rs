@@ -1,0 +1,279 @@
+//! Local-search tour improvement: 2-opt and Or-opt.
+
+use crate::cost::CostMatrix;
+use crate::tour::Tour;
+
+/// Limits for the improvement loop.
+#[derive(Debug, Clone, Copy)]
+pub struct ImproveConfig {
+    /// Maximum full passes of each operator (safety valve; local optima are
+    /// normally reached much earlier).
+    pub max_passes: usize,
+    /// Minimum improvement per move; moves below this are treated as noise
+    /// and rejected, guaranteeing termination despite floating point.
+    pub min_gain: f64,
+    /// Maximum Or-opt segment length to relocate.
+    pub max_segment: usize,
+}
+
+impl Default for ImproveConfig {
+    fn default() -> Self {
+        ImproveConfig {
+            max_passes: 64,
+            min_gain: 1e-9,
+            max_segment: 3,
+        }
+    }
+}
+
+/// One best-improvement 2-opt pass; returns the total gain.
+///
+/// A 2-opt move removes edges `(order[i], order[i+1])` and
+/// `(order[j], order[j+1])` and reverses the segment between them.
+fn two_opt_pass<C: CostMatrix>(cost: &C, order: &mut [usize], min_gain: f64) -> f64 {
+    let n = order.len();
+    let mut total_gain = 0.0;
+    if n < 4 {
+        return 0.0;
+    }
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..n - 1 {
+            let a = order[i];
+            let b = order[i + 1];
+            let d_ab = cost.cost(a, b);
+            for j in (i + 2)..n {
+                // Skip the move that would touch the same edge twice (wraps
+                // to i == 0 and j == n-1).
+                if i == 0 && j == n - 1 {
+                    continue;
+                }
+                let c = order[j];
+                let d = order[(j + 1) % n];
+                let gain = d_ab + cost.cost(c, d) - cost.cost(a, c) - cost.cost(b, d);
+                if gain > min_gain {
+                    order[i + 1..=j].reverse();
+                    total_gain += gain;
+                    improved = true;
+                    break;
+                }
+            }
+            if improved {
+                break;
+            }
+        }
+    }
+    total_gain
+}
+
+/// 2-opt local search until no improving move remains. Never lengthens the
+/// tour.
+pub fn two_opt<C: CostMatrix>(cost: &C, tour: Tour) -> Tour {
+    let mut order = tour.into_order();
+    two_opt_pass(cost, &mut order, ImproveConfig::default().min_gain);
+    Tour::from_order_unchecked(order).normalized()
+}
+
+/// One Or-opt pass: relocates segments of length `1..=max_segment` to a
+/// better position (possibly reversed). Returns the total gain.
+fn or_opt_pass<C: CostMatrix>(
+    cost: &C,
+    order: &mut Vec<usize>,
+    max_segment: usize,
+    min_gain: f64,
+) -> f64 {
+    let n = order.len();
+    let mut total_gain = 0.0;
+    if n < 4 {
+        return 0.0;
+    }
+    let mut improved = true;
+    while improved {
+        improved = false;
+        'moves: for seg_len in 1..=max_segment.min(n.saturating_sub(2)) {
+            for start in 0..n {
+                // Segment occupies positions start..start+seg_len (no wrap
+                // for simplicity; rotations expose wrapped segments across
+                // passes).
+                if start + seg_len >= n {
+                    continue;
+                }
+                let prev = order[(start + n - 1) % n];
+                let first = order[start];
+                let last = order[start + seg_len - 1];
+                let next = order[(start + seg_len) % n];
+                if prev == last || next == first {
+                    continue;
+                }
+                let removal_gain =
+                    cost.cost(prev, first) + cost.cost(last, next) - cost.cost(prev, next);
+                if removal_gain <= min_gain {
+                    continue;
+                }
+                // Try reinserting between every other consecutive pair.
+                for pos in 0..n {
+                    let ins_a = order[pos];
+                    let ins_b = order[(pos + 1) % n];
+                    // Insertion edge must be outside the removed segment's
+                    // neighborhood: positions start-1 (mod n, the edge into
+                    // the segment) through start+seg_len are excluded.
+                    let before = (start + n - 1) % n;
+                    if pos == before || (pos >= start && pos <= start + seg_len) {
+                        continue;
+                    }
+                    let base = cost.cost(ins_a, ins_b);
+                    let fwd = cost.cost(ins_a, first) + cost.cost(last, ins_b) - base;
+                    let rev = cost.cost(ins_a, last) + cost.cost(first, ins_b) - base;
+                    let (ins_cost, reversed) = if fwd <= rev {
+                        (fwd, false)
+                    } else {
+                        (rev, true)
+                    };
+                    let gain = removal_gain - ins_cost;
+                    if gain > min_gain {
+                        // Execute: remove the segment, then insert.
+                        let mut seg: Vec<usize> = order.drain(start..start + seg_len).collect();
+                        if reversed {
+                            seg.reverse();
+                        }
+                        // Find the insertion anchor after removal.
+                        let anchor = order
+                            .iter()
+                            .position(|&c| c == ins_a)
+                            .expect("anchor survives removal");
+                        let at = anchor + 1;
+                        for (k, c) in seg.into_iter().enumerate() {
+                            order.insert(at + k, c);
+                        }
+                        total_gain += gain;
+                        improved = true;
+                        continue 'moves;
+                    }
+                }
+            }
+        }
+    }
+    total_gain
+}
+
+/// Or-opt local search (segment relocation) until no improving move
+/// remains. Never lengthens the tour.
+pub fn or_opt<C: CostMatrix>(cost: &C, tour: Tour) -> Tour {
+    let mut order = tour.into_order();
+    let cfg = ImproveConfig::default();
+    or_opt_pass(cost, &mut order, cfg.max_segment, cfg.min_gain);
+    Tour::from_order_unchecked(order).normalized()
+}
+
+/// Alternates 2-opt and Or-opt passes until neither improves (or
+/// `max_passes` is hit). The standard polishing step of the planner.
+pub fn improve<C: CostMatrix>(cost: &C, tour: Tour, cfg: &ImproveConfig) -> Tour {
+    let mut order = tour.into_order();
+    for _ in 0..cfg.max_passes {
+        let g1 = two_opt_pass(cost, &mut order, cfg.min_gain);
+        let g2 = or_opt_pass(cost, &mut order, cfg.max_segment, cfg.min_gain);
+        if g1 + g2 <= cfg.min_gain {
+            break;
+        }
+    }
+    Tour::from_order_unchecked(order).normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::nearest_neighbor;
+    use crate::cost::MatrixCost;
+    use mdg_geom::Point;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect()
+    }
+
+    #[test]
+    fn two_opt_uncrosses_square() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let cost = MatrixCost::from_points(&pts);
+        let crossed = Tour::new(vec![0, 1, 2, 3]); // figure-eight
+        let fixed = two_opt(&cost, crossed);
+        assert!((fixed.length(&cost) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvements_never_lengthen() {
+        for seed in 0..5u64 {
+            let pts = random_points(30, seed);
+            let cost = MatrixCost::from_points(&pts);
+            let t0 = nearest_neighbor(&cost);
+            let len0 = t0.length(&cost);
+            let t1 = two_opt(&cost, t0.clone());
+            assert!(t1.length(&cost) <= len0 + 1e-9, "2-opt (seed {seed})");
+            let t2 = or_opt(&cost, t0.clone());
+            assert!(t2.length(&cost) <= len0 + 1e-9, "or-opt (seed {seed})");
+            let t3 = improve(&cost, t0, &ImproveConfig::default());
+            assert!(
+                t3.length(&cost) <= t1.length(&cost) + 1e-9,
+                "combined ≤ 2-opt"
+            );
+        }
+    }
+
+    #[test]
+    fn improve_preserves_permutation() {
+        let pts = random_points(40, 99);
+        let cost = MatrixCost::from_points(&pts);
+        let t = improve(&cost, nearest_neighbor(&cost), &ImproveConfig::default());
+        let mut sorted = t.order().to_vec();
+        sorted.sort_unstable();
+        assert!(sorted.iter().copied().eq(0..40));
+    }
+
+    #[test]
+    fn or_opt_relocates_outlier() {
+        // A city badly placed in the order gets relocated by Or-opt alone.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.5, 0.1), // belongs near the depot
+            Point::new(20.0, 0.0),
+            Point::new(30.0, 0.0),
+        ];
+        let cost = MatrixCost::from_points(&pts);
+        let bad = Tour::new(vec![0, 1, 2, 3, 4]);
+        let better = or_opt(&cost, bad.clone());
+        assert!(better.length(&cost) < bad.length(&cost) - 1.0);
+    }
+
+    #[test]
+    fn tiny_tours_are_untouched() {
+        let pts = random_points(3, 0);
+        let cost = MatrixCost::from_points(&pts);
+        let t = Tour::identity(3);
+        let len = t.length(&cost);
+        let improved = improve(&cost, t, &ImproveConfig::default());
+        assert!(
+            (improved.length(&cost) - len).abs() < 1e-9,
+            "n=3 has a unique tour"
+        );
+    }
+
+    #[test]
+    fn idempotent_at_local_optimum() {
+        let pts = random_points(25, 5);
+        let cost = MatrixCost::from_points(&pts);
+        let cfg = ImproveConfig::default();
+        let once = improve(&cost, nearest_neighbor(&cost), &cfg);
+        let twice = improve(&cost, once.clone(), &cfg);
+        assert!((twice.length(&cost) - once.length(&cost)).abs() < 1e-9);
+    }
+}

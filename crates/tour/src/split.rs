@@ -1,0 +1,282 @@
+//! Tour splitting for multiple mobile collectors.
+//!
+//! For large fields a single collector's tour can exceed the application's
+//! data-gathering deadline. The paper's remedy is a fleet: plan one global
+//! tour, then split it into `k` depot-anchored sub-tours. The splitting
+//! rule follows Frederickson, Hecht & Kim's k-TSP heuristic: choose split
+//! points along the tour so that the *maximum* sub-tour (including the two
+//! depot legs) is minimized.
+
+use crate::cost::CostMatrix;
+use crate::tour::Tour;
+
+/// One collector's sub-tour: the depot (city 0), then `cities` in order,
+/// then back to the depot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitTour {
+    /// Non-depot cities in visiting order.
+    pub cities: Vec<usize>,
+    /// Closed length: depot → cities… → depot.
+    pub length: f64,
+}
+
+impl SplitTour {
+    fn build<C: CostMatrix>(cost: &C, cities: Vec<usize>) -> Self {
+        let length = subtour_length(cost, &cities);
+        SplitTour { cities, length }
+    }
+}
+
+/// Length of depot → `cities…` → depot (0 for an empty city list).
+fn subtour_length<C: CostMatrix>(cost: &C, cities: &[usize]) -> f64 {
+    match cities.split_first() {
+        None => 0.0,
+        Some((&first, rest)) => {
+            let mut len = cost.cost(0, first);
+            let mut prev = first;
+            for &c in rest {
+                len += cost.cost(prev, c);
+                prev = c;
+            }
+            len + cost.cost(prev, 0)
+        }
+    }
+}
+
+/// Greedily packs the tour's non-depot cities (in tour order) into
+/// sub-tours of closed length ≤ `bound`. Returns `None` if some single
+/// city cannot be served within `bound` (i.e. `2·cost(0, c) > bound`).
+fn pack_within<C: CostMatrix>(cost: &C, seq: &[usize], bound: f64) -> Option<Vec<SplitTour>> {
+    let mut out = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    let mut path_len = 0.0; // depot → … → last of `current`
+    for &c in seq {
+        if 2.0 * cost.cost(0, c) > bound + 1e-9 {
+            return None;
+        }
+        let extended = if current.is_empty() {
+            cost.cost(0, c)
+        } else {
+            path_len + cost.cost(*current.last().unwrap(), c)
+        };
+        if extended + cost.cost(c, 0) <= bound + 1e-9 {
+            current.push(c);
+            path_len = extended;
+        } else {
+            debug_assert!(!current.is_empty(), "single city must fit (checked above)");
+            out.push(SplitTour::build(cost, std::mem::take(&mut current)));
+            current.push(c);
+            path_len = cost.cost(0, c);
+        }
+    }
+    if !current.is_empty() {
+        out.push(SplitTour::build(cost, current));
+    }
+    Some(out)
+}
+
+/// Splits `tour` (which must contain the depot 0) into at most `k`
+/// sub-tours minimizing the maximum sub-tour length, via binary search on
+/// the length bound with greedy packing as the feasibility oracle.
+///
+/// Returns fewer than `k` sub-tours when fewer suffice to achieve the same
+/// max length (e.g. `k` exceeds the number of cities).
+///
+/// # Panics
+/// Panics if `k == 0` or `tour` does not include city 0.
+pub fn split_into_k<C: CostMatrix>(cost: &C, tour: &Tour, k: usize) -> Vec<SplitTour> {
+    assert!(k > 0, "need at least one collector");
+    let seq = depot_sequence(tour);
+    if seq.is_empty() {
+        return Vec::new();
+    }
+    // Bounds: lo = longest single out-and-back; hi = whole tour as one.
+    let lo_req = seq
+        .iter()
+        .map(|&c| 2.0 * cost.cost(0, c))
+        .fold(0.0, f64::max);
+    let hi0 = subtour_length(cost, &seq);
+    let (mut lo, mut hi) = (lo_req, hi0.max(lo_req));
+    // Binary search the smallest feasible bound for k sub-tours.
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        match pack_within(cost, &seq, mid) {
+            Some(tours) if tours.len() <= k => hi = mid,
+            _ => lo = mid,
+        }
+    }
+    pack_within(cost, &seq, hi).expect("hi is feasible by construction")
+}
+
+/// The minimum number of collectors such that every sub-tour is at most
+/// `bound` meters long, splitting `tour` greedily in order. Returns the
+/// sub-tours, or `None` if some city cannot be served within `bound` even
+/// by a dedicated collector.
+pub fn min_collectors_for_bound<C: CostMatrix>(
+    cost: &C,
+    tour: &Tour,
+    bound: f64,
+) -> Option<Vec<SplitTour>> {
+    assert!(bound > 0.0, "bound must be positive");
+    let seq = depot_sequence(tour);
+    pack_within(cost, &seq, bound)
+}
+
+/// Rotates the tour so the depot leads, and returns the non-depot sequence.
+fn depot_sequence(tour: &Tour) -> Vec<usize> {
+    let order = tour.order();
+    let pos = order
+        .iter()
+        .position(|&c| c == 0)
+        .expect("tour must contain the depot (city 0)");
+    let mut seq = Vec::with_capacity(order.len().saturating_sub(1));
+    for i in 1..order.len() {
+        seq.push(order[(pos + i) % order.len()]);
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::MatrixCost;
+    use mdg_geom::Point;
+
+    /// Depot at the origin, cities strung out along a line.
+    fn line_instance() -> MatrixCost {
+        let pts: Vec<Point> = (0..7).map(|i| Point::new(10.0 * i as f64, 0.0)).collect();
+        MatrixCost::from_points(&pts)
+    }
+
+    fn all_cities_covered(tours: &[SplitTour], n: usize) {
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        for t in tours {
+            for &c in &t.cities {
+                assert!(!seen[c], "city {c} appears in two sub-tours");
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every city must be covered");
+    }
+
+    #[test]
+    fn split_into_one_is_whole_tour() {
+        let cost = line_instance();
+        let tour = Tour::identity(7);
+        let split = split_into_k(&cost, &tour, 1);
+        assert_eq!(split.len(), 1);
+        assert!((split[0].length - tour.length(&cost)).abs() < 1e-9);
+        all_cities_covered(&split, 7);
+    }
+
+    /// Depot at the center of a ring of 8 cities (radius 50): the whole
+    /// ring tour is far longer than any single out-and-back, so splitting
+    /// genuinely helps.
+    fn ring_instance() -> MatrixCost {
+        let mut pts = vec![Point::ORIGIN];
+        for i in 0..8 {
+            let a = std::f64::consts::TAU * i as f64 / 8.0;
+            pts.push(Point::new(50.0 * a.cos(), 50.0 * a.sin()));
+        }
+        MatrixCost::from_points(&pts)
+    }
+
+    #[test]
+    fn split_reduces_max_length() {
+        let cost = ring_instance();
+        let tour = Tour::identity(9);
+        let whole = tour.length(&cost);
+        let split = split_into_k(&cost, &tour, 3);
+        assert!(split.len() <= 3);
+        let max = split.iter().map(|t| t.length).fold(0.0, f64::max);
+        assert!(
+            max < whole,
+            "3-way split must beat the single tour: {max} vs {whole}"
+        );
+        all_cities_covered(&split, 9);
+        for t in &split {
+            assert!((t.length - subtour_length(&cost, &t.cities)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn split_max_never_below_farthest_roundtrip() {
+        let cost = line_instance();
+        let tour = Tour::identity(7);
+        for k in 1..=7 {
+            let split = split_into_k(&cost, &tour, k);
+            let max = split.iter().map(|t| t.length).fold(0.0, f64::max);
+            assert!(
+                max >= 2.0 * 60.0 - 1e-6,
+                "farthest city needs a 120 m round trip (k={k})"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let cost = line_instance();
+        let tour = Tour::identity(7);
+        let mut prev = f64::INFINITY;
+        for k in 1..=5 {
+            let split = split_into_k(&cost, &tour, k);
+            let max = split.iter().map(|t| t.length).fold(0.0, f64::max);
+            assert!(max <= prev + 1e-9, "max sub-tour must not grow with k");
+            prev = max;
+        }
+    }
+
+    #[test]
+    fn min_collectors_respects_bound() {
+        let cost = line_instance();
+        let tour = Tour::identity(7);
+        // Bound just above the farthest round trip forces many collectors.
+        let tours = min_collectors_for_bound(&cost, &tour, 125.0).unwrap();
+        for t in &tours {
+            assert!(t.length <= 125.0 + 1e-6);
+        }
+        all_cities_covered(&tours, 7);
+        // An infeasible bound (< farthest round trip) returns None.
+        assert!(min_collectors_for_bound(&cost, &tour, 100.0).is_none());
+        // A huge bound needs a single collector.
+        let one = min_collectors_for_bound(&cost, &tour, 1e6).unwrap();
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn min_collectors_monotone_in_bound() {
+        let cost = line_instance();
+        let tour = Tour::identity(7);
+        let mut prev = usize::MAX;
+        for bound in [125.0, 150.0, 200.0, 300.0, 500.0] {
+            let n = min_collectors_for_bound(&cost, &tour, bound).unwrap().len();
+            assert!(n <= prev, "more slack must not require more collectors");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn depot_only_tour() {
+        let pts = vec![Point::ORIGIN];
+        let cost = MatrixCost::from_points(&pts);
+        let tour = Tour::identity(1);
+        assert!(split_into_k(&cost, &tour, 3).is_empty());
+        assert_eq!(
+            min_collectors_for_bound(&cost, &tour, 10.0).unwrap().len(),
+            0
+        );
+    }
+
+    #[test]
+    fn rotated_tour_splits_identically() {
+        let cost = line_instance();
+        let a = Tour::new(vec![0, 1, 2, 3, 4, 5, 6]);
+        let b = Tour::new(vec![3, 4, 5, 6, 0, 1, 2]);
+        let sa = split_into_k(&cost, &a, 2);
+        let sb = split_into_k(&cost, &b, 2);
+        let max_a = sa.iter().map(|t| t.length).fold(0.0, f64::max);
+        let max_b = sb.iter().map(|t| t.length).fold(0.0, f64::max);
+        assert!((max_a - max_b).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,64 @@
+//! Multi-collector planning under a data-gathering deadline.
+//!
+//! A single collector at ~1 m/s needs the better part of an hour to sweep
+//! a 400 m field. When the application demands fresher data, the paper's
+//! answer is a fleet of M-collectors, each covering a slice of the tour.
+//! This example sizes the fleet for a series of deadlines.
+//!
+//! ```text
+//! cargo run --release --example deadline_fleet
+//! ```
+
+use mobile_collectors::core::fleet;
+use mobile_collectors::prelude::*;
+
+fn main() {
+    let network = Network::build(DeploymentConfig::uniform(400, 400.0).generate(11), 30.0);
+    let plan = ShdgPlanner::new().plan(&network).unwrap();
+
+    let speed = 1.0; // m/s
+    let upload = 0.5; // s per packet
+    let single = plan.collection_time(speed, upload);
+    println!(
+        "single collector: {} polling points, {:.0} m tour, {:.1} min per round",
+        plan.n_polling_points(),
+        plan.tour_length,
+        single / 60.0
+    );
+
+    println!("\ndeadline sizing (travel at {speed} m/s, {upload} s per upload):");
+    println!("  deadline   collectors   makespan   slack");
+    for minutes in [30.0, 20.0, 15.0, 10.0, 5.0, 2.0] {
+        let deadline = minutes * 60.0;
+        match fleet::plan_fleet_for_deadline(&plan, deadline, speed, upload) {
+            Some(f) => {
+                let makespan = f.makespan(speed, upload);
+                println!(
+                    "  {:5.1} min   {:10}   {:6.1} min   {:4.1} min",
+                    minutes,
+                    f.n_collectors(),
+                    makespan / 60.0,
+                    (deadline - makespan) / 60.0
+                );
+                f.validate(&plan)
+                    .expect("fleet covers every polling point exactly once");
+            }
+            None => println!(
+                "  {minutes:5.1} min   impossible: some polling point alone misses the deadline"
+            ),
+        }
+    }
+
+    // Fixed-size fleet: how the makespan falls with k.
+    println!("\nfixed fleet sizes (tour splitting vs angular sectors):");
+    println!("  k   split max (m)   angular max (m)");
+    for k in [1, 2, 3, 4, 6, 8] {
+        let split = fleet::plan_fleet(&plan, k);
+        let angular = fleet::plan_fleet_angular(&plan, k);
+        println!(
+            "  {k}   {:13.0}   {:15.0}",
+            split.max_length(),
+            angular.max_length()
+        );
+    }
+}

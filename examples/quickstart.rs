@@ -1,0 +1,76 @@
+//! Quickstart: plan one single-collector data-gathering tour and inspect
+//! it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mobile_collectors::prelude::*;
+
+fn main() {
+    // The paper's standard setup: sensors uniformly random over a square
+    // field, sink at the center, transmission range 30 m.
+    let deployment = DeploymentConfig::uniform(200, 200.0).generate(42);
+    let network = Network::build(deployment, 30.0);
+    println!(
+        "network: {} sensors on a {:.0} m field, R = {:.0} m, avg degree {:.1}, connected: {}",
+        network.n_sensors(),
+        network.deployment.field.width(),
+        network.range,
+        network.sensor_graph.avg_degree(),
+        network.is_connected(),
+    );
+
+    // Plan the polling points and the collector tour.
+    let plan = ShdgPlanner::new()
+        .plan(&network)
+        .expect("sensor-site planning always succeeds");
+    plan.validate(&network.deployment.sensors, network.range)
+        .expect("plan is consistent");
+
+    let metrics = PlanMetrics::of(&plan, &network.deployment.sensors);
+    println!("\nSHDG plan:");
+    println!("  polling points : {}", metrics.n_polling_points);
+    println!("  tour length    : {:.1} m", metrics.tour_length);
+    println!(
+        "  mean upload    : {:.1} m (max {:.1} m ≤ R)",
+        metrics.mean_upload_dist, metrics.max_upload_dist
+    );
+    println!(
+        "  sensors per PP : mean {:.1}, max {}",
+        metrics.mean_sensors_per_pp, metrics.max_sensors_per_pp
+    );
+    println!(
+        "  round time     : {:.1} min at 1 m/s with 0.5 s/upload",
+        plan.collection_time(1.0, 0.5) / 60.0
+    );
+
+    println!("\ntour (sink first):");
+    for (i, pp) in plan.polling_points.iter().enumerate() {
+        println!(
+            "  stop {:2}: sensor {:3} at {} serving {} sensor(s)",
+            i + 1,
+            pp.candidate,
+            pp.pos,
+            pp.covered.len()
+        );
+    }
+
+    // Compare with the no-aggregation extreme.
+    let va = visit_all_plan(&network);
+    println!(
+        "\nvisit-every-sensor tour would be {:.1} m — the polling-point tour is {:.0}% shorter",
+        va.tour_length,
+        (1.0 - plan.tour_length / va.tour_length) * 100.0
+    );
+
+    // And with static multi-hop routing.
+    let mh = MultihopMetrics::of(&network);
+    println!(
+        "multi-hop routing would relay each packet {:.1} hops on average ({} transmissions \
+         per round vs SHDG's {})",
+        mh.mean_hops,
+        mh.transmissions_per_round,
+        network.n_sensors()
+    );
+}

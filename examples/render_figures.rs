@@ -1,0 +1,88 @@
+//! Regenerates the paper's picture-figures as SVG files: the example
+//! network with its polling points and tour (single collector and fleet),
+//! plus a disconnected corridor field.
+//!
+//! ```text
+//! cargo run --release --example render_figures
+//! ```
+//!
+//! Outputs land in `results/` (created if missing).
+
+use mobile_collectors::core::fleet::plan_fleet;
+use mobile_collectors::prelude::*;
+use mobile_collectors::render::{render_fleet_svg, render_plan_svg, RenderOptions};
+use std::fs;
+use std::path::Path;
+
+fn main() -> std::io::Result<()> {
+    let out = Path::new("results");
+    fs::create_dir_all(out)?;
+
+    // Figure: the worked example (small net, tour over polling points).
+    let small = Network::build(DeploymentConfig::uniform(30, 70.0).generate(42), 25.0);
+    let small_plan = ShdgPlanner::new().plan(&small).unwrap();
+    let opts = RenderOptions {
+        draw_edges: true,
+        ..RenderOptions::default()
+    };
+    fs::write(
+        out.join("fig_example_tour.svg"),
+        render_plan_svg(&small, &small_plan, &opts),
+    )?;
+    println!(
+        "fig_example_tour.svg      — 30 sensors, {} polling points, {:.0} m tour",
+        small_plan.n_polling_points(),
+        small_plan.tour_length
+    );
+
+    // Figure: a realistic 200-sensor field.
+    let big = Network::build(DeploymentConfig::uniform(200, 200.0).generate(42), 30.0);
+    let big_plan = ShdgPlanner::new().plan(&big).unwrap();
+    fs::write(
+        out.join("fig_field_200.svg"),
+        render_plan_svg(&big, &big_plan, &RenderOptions::default()),
+    )?;
+    println!(
+        "fig_field_200.svg         — 200 sensors, {} polling points, {:.0} m tour",
+        big_plan.n_polling_points(),
+        big_plan.tour_length
+    );
+
+    // Figure: a 4-collector fleet on a large field.
+    let wide = Network::build(DeploymentConfig::uniform(400, 400.0).generate(11), 30.0);
+    let wide_plan = ShdgPlanner::new().plan(&wide).unwrap();
+    let fleet = plan_fleet(&wide_plan, 4);
+    fs::write(
+        out.join("fig_fleet_4.svg"),
+        render_fleet_svg(&wide, &wide_plan, &fleet, &RenderOptions::default()),
+    )?;
+    println!(
+        "fig_fleet_4.svg           — {} collectors, max sub-tour {:.0} m",
+        fleet.n_collectors(),
+        fleet.max_length()
+    );
+
+    // Figure: disconnected corridors served by the collector.
+    let corridors = DeploymentConfig {
+        field_side: 300.0,
+        sink: SinkPlacement::Center,
+        topology: Topology::Corridors {
+            bands: 3,
+            per_band: 50,
+            band_height: 20.0,
+        },
+    };
+    let island_net = Network::build(corridors.generate(7), 30.0);
+    let island_plan = ShdgPlanner::new().plan(&island_net).unwrap();
+    fs::write(
+        out.join("fig_corridors.svg"),
+        render_plan_svg(&island_net, &island_plan, &opts),
+    )?;
+    println!(
+        "fig_corridors.svg         — disconnected field, {:.0} m tour serves all {} sensors",
+        island_plan.tour_length,
+        island_plan.n_sensors()
+    );
+
+    Ok(())
+}

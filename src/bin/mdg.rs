@@ -1,0 +1,313 @@
+//! `mdg` — command-line front end for mobile-collector data gathering.
+//!
+//! ```text
+//! mdg plan     --n 200 --side 200 --range 30 [--seed 42] [--cap K]
+//!              [--greedy] [--out bundle.json]
+//! mdg fleet    --bundle bundle.json (--k K | --deadline SECS)
+//!              [--speed M/S] [--upload SECS] [--out fleet.json]
+//! mdg simulate --bundle bundle.json [--speed M/S] [--upload SECS]
+//!              [--battery JOULES]
+//! mdg render   --bundle bundle.json --out figure.svg [--edges]
+//! mdg stats    --n 200 --side 200 --range 30 [--seed 42]
+//! ```
+//!
+//! `plan` writes a self-contained JSON *bundle* (deployment + range +
+//! plan) that the other subcommands consume, so a pipeline like
+//! `plan → fleet → render` needs no other state.
+
+use mobile_collectors::core::{fleet, PlanMetrics, PlannerConfig, ShdgPlanner};
+use mobile_collectors::net::{DeploymentConfig, Network, TopologyStats};
+use mobile_collectors::prelude::*;
+use mobile_collectors::render::{render_plan_svg, RenderOptions};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Self-contained planning artifact passed between subcommands.
+#[derive(Serialize, Deserialize)]
+struct PlanBundle {
+    deployment: Deployment,
+    range: f64,
+    plan: GatheringPlan,
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage("missing subcommand");
+    }
+    let cmd = args.remove(0);
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(e) => return usage(&e),
+    };
+    let result = match cmd.as_str() {
+        "plan" => cmd_plan(&flags),
+        "fleet" => cmd_fleet(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "render" => cmd_render(&flags),
+        "stats" => cmd_stats(&flags),
+        "export-ilp" => cmd_export_ilp(&flags),
+        "help" | "--help" | "-h" => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => return usage(&format!("unknown subcommand `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  mdg plan     --n N --side METERS --range METERS [--seed S] [--cap K] [--greedy] [--out bundle.json]
+  mdg fleet    --bundle bundle.json (--k K | --deadline SECS) [--speed M/S] [--upload SECS] [--out fleet.json]
+  mdg simulate --bundle bundle.json [--speed M/S] [--upload SECS] [--battery JOULES]
+  mdg render   --bundle bundle.json --out figure.svg [--edges]
+  mdg stats    --n N --side METERS --range METERS [--seed S]
+  mdg export-ilp --n N --side METERS --range METERS [--seed S] --out model.lp";
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}\n{USAGE}");
+    ExitCode::FAILURE
+}
+
+type Flags = HashMap<String, String>;
+
+/// Parses `--key value` pairs; bare `--flag` (no value, or followed by
+/// another flag) stores an empty string.
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{}`", args[i]))?;
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            flags.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            flags.insert(key.to_string(), String::new());
+            i += 1;
+        }
+    }
+    Ok(flags)
+}
+
+fn req<T: std::str::FromStr>(flags: &Flags, key: &str) -> Result<T, String> {
+    flags
+        .get(key)
+        .ok_or_else(|| format!("missing required flag --{key}"))?
+        .parse()
+        .map_err(|_| format!("invalid value for --{key}"))
+}
+
+fn opt<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}")),
+    }
+}
+
+fn load_bundle(flags: &Flags) -> Result<PlanBundle, String> {
+    let path: PathBuf = req(flags, "bundle")?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("bad bundle {}: {e}", path.display()))
+}
+
+fn cmd_plan(flags: &Flags) -> Result<(), String> {
+    let n: usize = req(flags, "n")?;
+    let side: f64 = req(flags, "side")?;
+    let range: f64 = req(flags, "range")?;
+    let seed: u64 = opt(flags, "seed", 42)?;
+    let deployment = DeploymentConfig::uniform(n, side).generate(seed);
+    let network = Network::build(deployment.clone(), range);
+
+    let mut cfg = PlannerConfig::default();
+    if flags.contains_key("greedy") {
+        cfg.covering = mobile_collectors::core::CoveringStrategy::Greedy;
+    }
+    if let Some(cap) = flags.get("cap") {
+        let cap: usize = cap
+            .parse()
+            .map_err(|_| "invalid value for --cap".to_string())?;
+        cfg.max_sensors_per_pp = Some(cap);
+    }
+    let plan = ShdgPlanner::with_config(cfg)
+        .plan(&network)
+        .map_err(|e| e.to_string())?;
+    plan.validate(&network.deployment.sensors, range)
+        .map_err(|e| format!("internal: {e}"))?;
+
+    let m = PlanMetrics::of(&plan, &network.deployment.sensors);
+    println!(
+        "planned {} sensors on a {side:.0} m field (R = {range:.0} m, seed {seed})",
+        n
+    );
+    println!("  polling points : {}", m.n_polling_points);
+    println!("  tour           : {:.1} m", m.tour_length);
+    println!(
+        "  mean upload    : {:.1} m (max {:.1})",
+        m.mean_upload_dist, m.max_upload_dist
+    );
+    println!("  buffer (max/pp): {}", m.max_sensors_per_pp);
+
+    if let Some(out) = flags.get("out") {
+        let bundle = PlanBundle {
+            deployment,
+            range,
+            plan,
+        };
+        let json = serde_json::to_string_pretty(&bundle).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("  bundle         : {out}");
+    }
+    Ok(())
+}
+
+fn cmd_fleet(flags: &Flags) -> Result<(), String> {
+    let bundle = load_bundle(flags)?;
+    let speed: f64 = opt(flags, "speed", 1.0)?;
+    let upload: f64 = opt(flags, "upload", 0.5)?;
+    let fleet_plan = if flags.contains_key("k") {
+        let k: usize = req(flags, "k")?;
+        fleet::plan_fleet(&bundle.plan, k)
+    } else if flags.contains_key("deadline") {
+        let deadline: f64 = req(flags, "deadline")?;
+        fleet::plan_fleet_for_deadline(&bundle.plan, deadline, speed, upload)
+            .ok_or("no fleet can meet this deadline (a polling point alone misses it)")?
+    } else {
+        return Err("fleet needs --k or --deadline".into());
+    };
+    fleet_plan
+        .validate(&bundle.plan)
+        .map_err(|e| format!("internal: {e}"))?;
+    println!("fleet of {} collector(s)", fleet_plan.n_collectors());
+    println!("  max sub-tour : {:.1} m", fleet_plan.max_length());
+    println!("  total travel : {:.1} m", fleet_plan.total_length());
+    println!(
+        "  makespan     : {:.1} s at {speed} m/s + {upload} s/upload",
+        fleet_plan.makespan(speed, upload)
+    );
+    for (i, c) in fleet_plan.collectors.iter().enumerate() {
+        println!(
+            "  collector {i}: {} stops, {} sensors, {:.1} m",
+            c.polling_points.len(),
+            c.sensors_served,
+            c.length
+        );
+    }
+    if let Some(out) = flags.get("out") {
+        let json = serde_json::to_string_pretty(&fleet_plan).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("  fleet json   : {out}");
+    }
+    Ok(())
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<(), String> {
+    let bundle = load_bundle(flags)?;
+    let speed: f64 = opt(flags, "speed", 1.0)?;
+    let upload: f64 = opt(flags, "upload", 0.5)?;
+    let cfg = SimConfig {
+        speed_mps: speed,
+        upload_secs: upload,
+        ..SimConfig::default()
+    };
+    let scen = scenario_from_plan(&bundle.plan, &bundle.deployment.sensors);
+    if let Some(battery) = flags.get("battery") {
+        let battery: f64 = battery
+            .parse()
+            .map_err(|_| "invalid value for --battery".to_string())?;
+        let mut sim = MobileGatheringSim::new(scen, cfg);
+        let life = simulate_lifetime(&mut sim, battery, 1_000_000);
+        println!("lifetime with {battery} J batteries:");
+        println!("  first death : {:?}", life.first_death_round);
+        println!("  10% dead    : {:?}", life.ten_pct_death_round);
+        println!("  50% dead    : {:?}", life.half_death_round);
+        println!("  packets     : {}", life.total_delivered);
+    } else {
+        let round = MobileGatheringSim::new(scen, cfg).run();
+        println!("one collection round:");
+        println!(
+            "  duration : {:.1} s ({:.1} min)",
+            round.duration_secs,
+            round.duration_secs / 60.0
+        );
+        println!(
+            "  packets  : {}/{}",
+            round.packets_delivered, round.packets_expected
+        );
+        println!(
+            "  energy   : {:.3} mJ across sensors",
+            round.total_joules() * 1e3
+        );
+        println!("  fairness : {:.3} (Jain)", round.ledger.fairness());
+    }
+    Ok(())
+}
+
+fn cmd_render(flags: &Flags) -> Result<(), String> {
+    let bundle = load_bundle(flags)?;
+    let out: PathBuf = req(flags, "out")?;
+    let network = Network::build(bundle.deployment.clone(), bundle.range);
+    let opts = RenderOptions {
+        draw_edges: flags.contains_key("edges"),
+        ..RenderOptions::default()
+    };
+    let svg = render_plan_svg(&network, &bundle.plan, &opts);
+    std::fs::write(&out, svg).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
+fn cmd_export_ilp(flags: &Flags) -> Result<(), String> {
+    let n: usize = req(flags, "n")?;
+    let side: f64 = req(flags, "side")?;
+    let range: f64 = req(flags, "range")?;
+    let seed: u64 = opt(flags, "seed", 42)?;
+    let out: PathBuf = req(flags, "out")?;
+    let network = Network::build(DeploymentConfig::uniform(n, side).generate(seed), range);
+    let ilp = mobile_collectors::core::IlpInstance::from_network(&network);
+    let lp = ilp.to_lp();
+    std::fs::write(&out, &lp).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "wrote {} ({} candidates, {} lines) — feed it to any LP-format MIP solver",
+        out.display(),
+        n,
+        lp.lines().count()
+    );
+    Ok(())
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let n: usize = req(flags, "n")?;
+    let side: f64 = req(flags, "side")?;
+    let range: f64 = req(flags, "range")?;
+    let seed: u64 = opt(flags, "seed", 42)?;
+    let network = Network::build(DeploymentConfig::uniform(n, side).generate(seed), range);
+    let s = TopologyStats::of_network(&network);
+    let mh = MultihopMetrics::of(&network);
+    println!("topology: {n} sensors, {side:.0} m field, R = {range:.0} m, seed {seed}");
+    println!("  edges            : {}", s.m);
+    println!(
+        "  degree           : mean {:.1}, min {}, max {}",
+        s.mean_degree, s.min_degree, s.max_degree
+    );
+    println!("  isolated sensors : {}", s.isolated);
+    println!(
+        "  components       : {} (largest {})",
+        s.components, s.largest_component
+    );
+    println!(
+        "  sink reach       : {}/{} sensors, mean {:.1} hops",
+        mh.reachable, n, mh.mean_hops
+    );
+    Ok(())
+}

@@ -1,0 +1,288 @@
+//! SVG rendering of deployments, plans and fleet plans.
+//!
+//! The paper's example figures are *pictures*: a sensor field, the chosen
+//! polling points, and the collector tour drawn over it. This module
+//! regenerates such figures as standalone SVG files (no external
+//! dependencies — the SVG is assembled by string building).
+
+use mdg_core::{FleetPlan, GatheringPlan};
+use mdg_geom::{Aabb, Point};
+use mdg_net::Network;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Output canvas width in pixels (height follows the field's aspect).
+    pub width_px: f64,
+    /// Margin around the field in pixels.
+    pub margin_px: f64,
+    /// Draw the unit-disk communication edges.
+    pub draw_edges: bool,
+    /// Draw sensor → polling-point assignment links.
+    pub draw_assignments: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width_px: 640.0,
+            margin_px: 24.0,
+            draw_edges: false,
+            draw_assignments: true,
+        }
+    }
+}
+
+/// Sub-tour stroke colors for fleet rendering (cycled).
+const FLEET_COLORS: [&str; 6] = [
+    "#c0392b", "#2980b9", "#27ae60", "#8e44ad", "#d35400", "#16a085",
+];
+
+struct Canvas {
+    svg: String,
+    scale: f64,
+    offset: Point,
+    height_px: f64,
+}
+
+impl Canvas {
+    fn new(field: &Aabb, opts: &RenderOptions) -> Canvas {
+        let usable = opts.width_px - 2.0 * opts.margin_px;
+        let scale = usable / field.width().max(1e-9);
+        let height_px = field.height() * scale + 2.0 * opts.margin_px;
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
+            opts.width_px, height_px, opts.width_px, height_px
+        );
+        let _ = writeln!(
+            svg,
+            r##"<rect width="100%" height="100%" fill="#ffffff"/>"##
+        );
+        Canvas {
+            svg,
+            scale,
+            offset: field.min - Point::new(opts.margin_px / scale, opts.margin_px / scale),
+            height_px,
+        }
+    }
+
+    /// Maps field meters to pixel coordinates (y flipped: SVG grows down).
+    fn px(&self, p: Point) -> (f64, f64) {
+        let x = (p.x - self.offset.x) * self.scale;
+        let y = self.height_px - (p.y - self.offset.y) * self.scale;
+        (x, y)
+    }
+
+    fn line(&mut self, a: Point, b: Point, stroke: &str, width: f64, dash: Option<&str>) {
+        let (x1, y1) = self.px(a);
+        let (x2, y2) = self.px(b);
+        let dash_attr = dash.map_or(String::new(), |d| format!(r#" stroke-dasharray="{d}""#));
+        let _ = writeln!(
+            self.svg,
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="{width}"{dash_attr}/>"#
+        );
+    }
+
+    fn circle(&mut self, p: Point, r: f64, fill: &str, stroke: &str) {
+        let (cx, cy) = self.px(p);
+        let _ = writeln!(
+            self.svg,
+            r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="{r}" fill="{fill}" stroke="{stroke}" stroke-width="1"/>"#
+        );
+    }
+
+    fn rect_marker(&mut self, p: Point, half: f64, fill: &str) {
+        let (cx, cy) = self.px(p);
+        let _ = writeln!(
+            self.svg,
+            r##"<rect x="{:.1}" y="{:.1}" width="{}" height="{}" fill="{fill}" stroke="#000" stroke-width="1"/>"##,
+            cx - half,
+            cy - half,
+            2.0 * half,
+            2.0 * half
+        );
+    }
+
+    fn text(&mut self, p: Point, dy: f64, content: &str) {
+        let (x, y) = self.px(p);
+        let _ = writeln!(
+            self.svg,
+            r##"<text x="{x:.1}" y="{:.1}" font-size="10" font-family="sans-serif" fill="#333">{content}</text>"##,
+            y + dy
+        );
+    }
+
+    fn finish(mut self) -> String {
+        let _ = writeln!(self.svg, "</svg>");
+        self.svg
+    }
+}
+
+fn draw_network(canvas: &mut Canvas, net: &Network, opts: &RenderOptions) {
+    if opts.draw_edges {
+        for (u, v, _) in net.sensor_graph.edges() {
+            canvas.line(
+                net.deployment.sensors[u as usize],
+                net.deployment.sensors[v as usize],
+                "#dddddd",
+                0.6,
+                None,
+            );
+        }
+    }
+    for &s in &net.deployment.sensors {
+        canvas.circle(s, 2.5, "#7f8c8d", "#555555");
+    }
+    canvas.rect_marker(net.deployment.sink, 5.0, "#f1c40f");
+    canvas.text(net.deployment.sink, -8.0, "sink");
+}
+
+/// Renders a single-collector plan: sensors, assignment links, polling
+/// points and the closed tour.
+pub fn render_plan_svg(net: &Network, plan: &GatheringPlan, opts: &RenderOptions) -> String {
+    let mut canvas = Canvas::new(&net.deployment.field, opts);
+    draw_network(&mut canvas, net, opts);
+    if opts.draw_assignments {
+        for (s, &k) in plan.assignment.iter().enumerate() {
+            canvas.line(
+                net.deployment.sensors[s],
+                plan.polling_points[k].pos,
+                "#bdc3c7",
+                0.7,
+                Some("3,3"),
+            );
+        }
+    }
+    // The closed tour.
+    let tour = plan.tour_positions();
+    for i in 0..tour.len() {
+        canvas.line(tour[i], tour[(i + 1) % tour.len()], "#c0392b", 2.0, None);
+    }
+    for pp in &plan.polling_points {
+        canvas.circle(pp.pos, 4.5, "#e74c3c", "#922b21");
+    }
+    canvas.finish()
+}
+
+/// Renders a fleet plan: one tour color per collector.
+pub fn render_fleet_svg(
+    net: &Network,
+    plan: &GatheringPlan,
+    fleet: &FleetPlan,
+    opts: &RenderOptions,
+) -> String {
+    let mut canvas = Canvas::new(&net.deployment.field, opts);
+    draw_network(&mut canvas, net, opts);
+    for (ci, collector) in fleet.collectors.iter().enumerate() {
+        let color = FLEET_COLORS[ci % FLEET_COLORS.len()];
+        let mut tour = vec![plan.sink];
+        tour.extend(
+            collector
+                .polling_points
+                .iter()
+                .map(|&i| plan.polling_points[i].pos),
+        );
+        for i in 0..tour.len() {
+            canvas.line(tour[i], tour[(i + 1) % tour.len()], color, 2.0, None);
+        }
+        for &i in &collector.polling_points {
+            canvas.circle(plan.polling_points[i].pos, 4.0, color, "#333333");
+        }
+    }
+    canvas.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdg_core::{fleet::plan_fleet, ShdgPlanner};
+    use mdg_net::DeploymentConfig;
+
+    fn setup() -> (Network, GatheringPlan) {
+        let net = Network::build(DeploymentConfig::uniform(60, 150.0).generate(5), 30.0);
+        let plan = ShdgPlanner::new().plan(&net).unwrap();
+        (net, plan)
+    }
+
+    #[test]
+    fn plan_svg_is_structurally_complete() {
+        let (net, plan) = setup();
+        let svg = render_plan_svg(&net, &plan, &RenderOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One circle per sensor + one per polling point.
+        let circles = svg.matches("<circle").count();
+        assert_eq!(circles, net.n_sensors() + plan.n_polling_points());
+        // Tour edges: one line per tour vertex (closed), plus assignment
+        // dashes (one per sensor).
+        let lines = svg.matches("<line").count();
+        assert_eq!(lines, (plan.n_polling_points() + 1) + net.n_sensors());
+        // The sink marker.
+        assert_eq!(svg.matches("<rect").count(), 2, "background + sink marker");
+        assert!(svg.contains(">sink</text>"));
+    }
+
+    #[test]
+    fn options_toggle_layers() {
+        let (net, plan) = setup();
+        let bare = render_plan_svg(
+            &net,
+            &plan,
+            &RenderOptions {
+                draw_assignments: false,
+                ..RenderOptions::default()
+            },
+        );
+        assert_eq!(
+            bare.matches("<line").count(),
+            plan.n_polling_points() + 1,
+            "tour edges only"
+        );
+        let with_edges = render_plan_svg(
+            &net,
+            &plan,
+            &RenderOptions {
+                draw_edges: true,
+                ..RenderOptions::default()
+            },
+        );
+        assert!(with_edges.matches("<line").count() > bare.matches("<line").count());
+    }
+
+    #[test]
+    fn fleet_svg_uses_distinct_colors() {
+        let (net, plan) = setup();
+        let fleet = plan_fleet(&plan, 3);
+        let svg = render_fleet_svg(&net, &plan, &fleet, &RenderOptions::default());
+        for (ci, _) in fleet.collectors.iter().enumerate() {
+            assert!(svg.contains(FLEET_COLORS[ci % FLEET_COLORS.len()]));
+        }
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn coordinates_stay_on_canvas() {
+        let (net, plan) = setup();
+        let opts = RenderOptions::default();
+        let svg = render_plan_svg(&net, &plan, &opts);
+        // All cx/cy values must be within the declared canvas (no clipped
+        // markers).
+        for cap in regex_lite(&svg, "cx=\"") {
+            assert!((0.0..=opts.width_px).contains(&cap), "cx {cap} off canvas");
+        }
+    }
+
+    /// Tiny helper: extracts the f64 after each occurrence of `needle`.
+    fn regex_lite(svg: &str, needle: &str) -> Vec<f64> {
+        svg.match_indices(needle)
+            .map(|(i, _)| {
+                let rest = &svg[i + needle.len()..];
+                let end = rest.find('"').unwrap();
+                rest[..end].parse::<f64>().unwrap()
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,234 @@
+//! Integration tests for the `mdg` command-line tool, driven through the
+//! compiled binary (`CARGO_BIN_EXE_mdg`).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn mdg(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mdg"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).to_string()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mdg_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn plan_prints_metrics_and_writes_a_bundle() {
+    let bundle = tmp("bundle.json");
+    let out = mdg(&[
+        "plan",
+        "--n",
+        "80",
+        "--side",
+        "150",
+        "--range",
+        "30",
+        "--seed",
+        "7",
+        "--out",
+        bundle.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("polling points"), "{text}");
+    assert!(text.contains("tour"), "{text}");
+    let json = std::fs::read_to_string(&bundle).unwrap();
+    assert!(json.contains("\"plan\""));
+    assert!(json.contains("\"deployment\""));
+    assert!(json.contains("\"range\""));
+}
+
+#[test]
+fn full_pipeline_plan_fleet_simulate_render() {
+    let bundle = tmp("pipeline.json");
+    let svg = tmp("pipeline.svg");
+    assert!(mdg(&[
+        "plan",
+        "--n",
+        "60",
+        "--side",
+        "150",
+        "--range",
+        "30",
+        "--out",
+        bundle.to_str().unwrap(),
+    ])
+    .status
+    .success());
+
+    let fleet = mdg(&["fleet", "--bundle", bundle.to_str().unwrap(), "--k", "3"]);
+    assert!(fleet.status.success(), "{}", stderr(&fleet));
+    assert!(stdout(&fleet).contains("collector(s)"));
+
+    let sim = mdg(&["simulate", "--bundle", bundle.to_str().unwrap()]);
+    assert!(sim.status.success(), "{}", stderr(&sim));
+    let sim_out = stdout(&sim);
+    assert!(
+        sim_out.contains("60/60"),
+        "all packets collected: {sim_out}"
+    );
+
+    let render = mdg(&[
+        "render",
+        "--bundle",
+        bundle.to_str().unwrap(),
+        "--out",
+        svg.to_str().unwrap(),
+    ]);
+    assert!(render.status.success(), "{}", stderr(&render));
+    let svg_text = std::fs::read_to_string(&svg).unwrap();
+    assert!(svg_text.starts_with("<svg"));
+    assert!(svg_text.contains("<circle"));
+}
+
+#[test]
+fn deadline_fleet_and_lifetime() {
+    let bundle = tmp("deadline.json");
+    assert!(mdg(&[
+        "plan",
+        "--n",
+        "100",
+        "--side",
+        "250",
+        "--range",
+        "30",
+        "--out",
+        bundle.to_str().unwrap(),
+    ])
+    .status
+    .success());
+
+    let fleet = mdg(&[
+        "fleet",
+        "--bundle",
+        bundle.to_str().unwrap(),
+        "--deadline",
+        "600",
+        "--speed",
+        "1",
+        "--upload",
+        "0.5",
+    ]);
+    assert!(fleet.status.success(), "{}", stderr(&fleet));
+
+    let life = mdg(&[
+        "simulate",
+        "--bundle",
+        bundle.to_str().unwrap(),
+        "--battery",
+        "0.01",
+    ]);
+    assert!(life.status.success(), "{}", stderr(&life));
+    assert!(stdout(&life).contains("first death"));
+}
+
+#[test]
+fn stats_subcommand() {
+    let out = mdg(&["stats", "--n", "120", "--side", "200", "--range", "30"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("components"));
+    assert!(text.contains("sink reach"));
+}
+
+#[test]
+fn capacitated_plan_flag() {
+    let out = mdg(&[
+        "plan", "--n", "100", "--side", "150", "--range", "30", "--cap", "5",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    // Buffer line reports a max/pp within the cap.
+    let buffer_line = text.lines().find(|l| l.contains("buffer")).unwrap();
+    let max: usize = buffer_line
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .trim()
+        .parse()
+        .expect("numeric buffer");
+    assert!(max <= 5, "{buffer_line}");
+}
+
+#[test]
+fn errors_are_reported_cleanly() {
+    // Missing required flag.
+    let out = mdg(&["plan", "--n", "50"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--side"));
+    // Unknown subcommand.
+    let out = mdg(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown subcommand"));
+    // Nonexistent bundle.
+    let out = mdg(&["simulate", "--bundle", "/nonexistent/x.json"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read"));
+    // Fleet without k or deadline.
+    let bundle = tmp("err.json");
+    assert!(mdg(&[
+        "plan",
+        "--n",
+        "20",
+        "--side",
+        "100",
+        "--range",
+        "30",
+        "--out",
+        bundle.to_str().unwrap()
+    ])
+    .status
+    .success());
+    let out = mdg(&["fleet", "--bundle", bundle.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--k or --deadline"));
+}
+
+#[test]
+fn export_ilp_writes_a_model() {
+    let lp = tmp("model.lp");
+    let out = mdg(&[
+        "export-ilp",
+        "--n",
+        "8",
+        "--side",
+        "70",
+        "--range",
+        "25",
+        "--out",
+        lp.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let model = std::fs::read_to_string(&lp).unwrap();
+    assert!(model.contains("Minimize"));
+    assert!(model.contains("Binary"));
+    assert!(model.trim_end().ends_with("End"));
+}
+
+#[test]
+fn plans_are_reproducible_across_invocations() {
+    let a = stdout(&mdg(&[
+        "plan", "--n", "70", "--side", "180", "--range", "30", "--seed", "5",
+    ]));
+    let b = stdout(&mdg(&[
+        "plan", "--n", "70", "--side", "180", "--range", "30", "--seed", "5",
+    ]));
+    assert_eq!(a, b);
+    let c = stdout(&mdg(&[
+        "plan", "--n", "70", "--side", "180", "--range", "30", "--seed", "6",
+    ]));
+    assert_ne!(a, c);
+}

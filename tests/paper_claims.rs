@@ -1,0 +1,168 @@
+//! The paper's headline qualitative claims, checked end-to-end at moderate
+//! scale. These are the "shape" assertions the reproduction must preserve
+//! even though absolute numbers differ from the authors' testbed.
+
+use mobile_collectors::prelude::*;
+
+fn network(n: usize, side: f64, range: f64, seed: u64) -> Network {
+    Network::build(DeploymentConfig::uniform(n, side).generate(seed), range)
+}
+
+/// Claim 1: polling-point tours are much shorter than visiting every
+/// sensor, and the advantage grows with density.
+#[test]
+fn polling_points_shorten_the_tour() {
+    for seed in 0..5 {
+        let net = network(200, 200.0, 30.0, seed);
+        let shdg = ShdgPlanner::new().plan(&net).unwrap();
+        let va = visit_all_plan(&net);
+        assert!(
+            shdg.tour_length < 0.7 * va.tour_length,
+            "seed {seed}: {} vs {}",
+            shdg.tour_length,
+            va.tour_length
+        );
+    }
+    // Density scaling: the SHDG tour saturates while visit-all keeps
+    // growing.
+    let shdg_100 = ShdgPlanner::new()
+        .plan(&network(100, 200.0, 30.0, 7))
+        .unwrap()
+        .tour_length;
+    let shdg_500 = ShdgPlanner::new()
+        .plan(&network(500, 200.0, 30.0, 7))
+        .unwrap()
+        .tour_length;
+    let va_100 = visit_all_plan(&network(100, 200.0, 30.0, 7)).tour_length;
+    let va_500 = visit_all_plan(&network(500, 200.0, 30.0, 7)).tour_length;
+    assert!(
+        (shdg_500 / shdg_100) < (va_500 / va_100),
+        "SHDG must scale sublinearly versus visit-all"
+    );
+}
+
+/// Claim 2: single-hop mobile gathering gives every sensor exactly one
+/// transmission per round — perfect transmission-count uniformity.
+#[test]
+fn single_hop_uniformity() {
+    let net = network(150, 200.0, 30.0, 3);
+    let plan = ShdgPlanner::new().plan(&net).unwrap();
+    let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+    let round = MobileGatheringSim::new(scen, SimConfig::default()).run();
+    for s in 0..net.n_sensors() {
+        assert_eq!(round.ledger.tx_of(s), 1);
+        assert_eq!(round.ledger.rx_of(s), 0);
+    }
+    // Static routing cannot say the same.
+    let mh = MultihopRoutingSim::new(&net, SimConfig::default()).run();
+    let max_tx = (0..net.n_sensors())
+        .map(|s| mh.ledger.tx_of(s))
+        .max()
+        .unwrap();
+    assert!(max_tx > 1, "routing hotspots must relay multiple packets");
+    assert!(round.ledger.fairness() > mh.ledger.fairness());
+}
+
+/// Claim 3: mobile gathering trades latency for energy — routing delivers
+/// orders of magnitude faster, mobile schemes spend orders of magnitude
+/// less sensor energy (on transmissions over bounded distances).
+#[test]
+fn energy_latency_tradeoff() {
+    let net = network(200, 200.0, 30.0, 11);
+    let cfg = SimConfig::default();
+    let plan = ShdgPlanner::new().plan(&net).unwrap();
+    let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+    let mobile = MobileGatheringSim::new(scen, cfg).run();
+    let routing = MultihopRoutingSim::new(&net, cfg).run();
+    // Latency: routing at least 100× faster.
+    assert!(routing.duration_secs * 100.0 < mobile.duration_secs);
+    // Energy: mobile strictly cheaper (no relay receive/forward chains).
+    assert!(mobile.total_joules() < routing.total_joules());
+    // Transmissions: N vs Σhops > N.
+    assert!(mobile.total_transmissions() < routing.total_transmissions());
+}
+
+/// Claim 4: network lifetime is extended by mobile gathering (the sink-
+/// adjacent relay hotspot disappears).
+#[test]
+fn lifetime_extension() {
+    let net = network(120, 200.0, 30.0, 19);
+    let cfg = SimConfig::default();
+    let battery = 0.2;
+    let plan = ShdgPlanner::new().plan(&net).unwrap();
+    let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+    let mut mobile = MobileGatheringSim::new(scen, cfg);
+    let m = simulate_lifetime(&mut mobile, battery, 1_000_000);
+    let mut routing = MultihopRoutingSim::new(&net, cfg);
+    let r = simulate_lifetime(&mut routing, battery, 1_000_000);
+    let m_death = m.first_death_round.expect("mobile sensors eventually die");
+    let r_death = r.first_death_round.expect("routing hotspot dies quickly");
+    assert!(
+        m_death > 5 * r_death,
+        "mobile {m_death} rounds vs routing {r_death} rounds"
+    );
+}
+
+/// Claim 5: mobile collection works on disconnected networks where
+/// routing cannot.
+#[test]
+fn disconnected_networks_are_served() {
+    let cfg = DeploymentConfig {
+        field_side: 300.0,
+        sink: SinkPlacement::Center,
+        topology: Topology::Corridors {
+            bands: 3,
+            per_band: 40,
+            band_height: 20.0,
+        },
+    };
+    let net = Network::build(cfg.generate(23), 30.0);
+    assert!(!net.is_connected());
+    let sim_cfg = SimConfig::default();
+    let plan = ShdgPlanner::new().plan(&net).unwrap();
+    let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+    let mobile = MobileGatheringSim::new(scen, sim_cfg).run();
+    assert_eq!(mobile.delivery_ratio(), 1.0);
+    let routing = MultihopRoutingSim::new(&net, sim_cfg).run();
+    assert!(routing.delivery_ratio() < 1.0);
+}
+
+/// Claim 6: the relay-hop-free property distinguishes SHDG from CME: CME
+/// needs unbounded relays whose depth grows with the track spacing.
+#[test]
+fn cme_relays_grow_with_track_spacing() {
+    let net = network(300, 300.0, 30.0, 29);
+    let sparse = plan_cme(&net, 2); // tracks 300 m apart
+    let dense = plan_cme(&net, 7); // tracks 50 m apart
+    assert!(
+        sparse.mean_relay_hops() > dense.mean_relay_hops(),
+        "sparser tracks must force deeper relay chains: {} vs {}",
+        sparse.mean_relay_hops(),
+        dense.mean_relay_hops()
+    );
+    // And denser tracks cost tour length.
+    assert!(dense.path_length > sparse.path_length);
+}
+
+/// Claim 7 (deadline extension): enough collectors always meet any
+/// deadline that is individually feasible, and the required fleet size
+/// decreases monotonically as the deadline loosens.
+#[test]
+fn fleet_meets_deadlines() {
+    use mobile_collectors::core::fleet::plan_fleet_for_deadline;
+    let net = network(250, 350.0, 30.0, 31);
+    let plan = ShdgPlanner::new().plan(&net).unwrap();
+    let single = plan.collection_time(1.0, 0.5);
+    let mut prev = usize::MAX;
+    for frac in [0.2, 0.35, 0.5, 0.75, 1.0] {
+        let fleet = plan_fleet_for_deadline(&plan, single * frac, 1.0, 0.5)
+            .expect("fractions of the single tour are feasible here");
+        assert!(fleet.makespan(1.0, 0.5) <= single * frac + 1e-6);
+        assert!(fleet.n_collectors() <= prev);
+        prev = fleet.n_collectors();
+    }
+    assert_eq!(
+        prev, 1,
+        "the full-time deadline needs exactly one collector"
+    );
+}

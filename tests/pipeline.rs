@@ -1,0 +1,150 @@
+//! End-to-end integration tests across all workspace crates.
+
+use mobile_collectors::prelude::*;
+use mobile_collectors::{core::fleet, sim::RoundScheme};
+
+fn network(n: usize, side: f64, range: f64, seed: u64) -> Network {
+    Network::build(DeploymentConfig::uniform(n, side).generate(seed), range)
+}
+
+#[test]
+fn full_pipeline_is_deterministic_by_seed() {
+    let run = || {
+        let net = network(150, 200.0, 30.0, 99);
+        let plan = ShdgPlanner::new().plan(&net).unwrap();
+        let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+        let round = MobileGatheringSim::new(scen, SimConfig::default()).run();
+        (
+            plan.tour_length,
+            plan.n_polling_points(),
+            round.duration_secs,
+            round.total_joules(),
+        )
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "same seed must reproduce the whole pipeline bit-for-bit"
+    );
+}
+
+#[test]
+fn plan_energy_matches_radio_model_exactly() {
+    // Cross-crate energy conservation: the simulated round's joules must
+    // equal the closed-form cost of one upload per sensor over its upload
+    // distance.
+    let net = network(120, 200.0, 30.0, 5);
+    let plan = ShdgPlanner::new().plan(&net).unwrap();
+    let cfg = SimConfig::default();
+    let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+    let round = MobileGatheringSim::new(scen, cfg).run();
+    let analytic: f64 = plan
+        .upload_distances(&net.deployment.sensors)
+        .iter()
+        .map(|&d| cfg.radio.tx_cost(d))
+        .sum();
+    assert!(
+        (round.total_joules() - analytic).abs() < 1e-12,
+        "simulated {} J vs analytic {} J",
+        round.total_joules(),
+        analytic
+    );
+}
+
+#[test]
+fn simulated_duration_matches_plan_estimate() {
+    let net = network(100, 200.0, 30.0, 8);
+    let plan = ShdgPlanner::new().plan(&net).unwrap();
+    let cfg = SimConfig::default();
+    let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+    let round = MobileGatheringSim::new(scen, cfg).run();
+    let estimate = plan.collection_time(cfg.speed_mps, cfg.upload_secs);
+    assert!(
+        (round.duration_secs - estimate).abs() < 1e-6,
+        "DES {} s vs closed form {} s",
+        round.duration_secs,
+        estimate
+    );
+}
+
+#[test]
+fn fleet_union_equals_single_plan_service() {
+    let net = network(200, 300.0, 30.0, 13);
+    let plan = ShdgPlanner::new().plan(&net).unwrap();
+    for k in [2, 3, 5] {
+        let f = fleet::plan_fleet(&plan, k);
+        f.validate(&plan).unwrap();
+        let served: usize = f.collectors.iter().map(|c| c.sensors_served).sum();
+        assert_eq!(served, net.n_sensors(), "k = {k}");
+        // Total fleet travel exceeds the single tour (extra depot legs)…
+        assert!(f.total_length() >= plan.tour_length - 1e-6, "k = {k}");
+        // …but the makespan is no worse.
+        assert!(f.max_length() <= plan.tour_length + 1e-6, "k = {k}");
+    }
+}
+
+#[test]
+fn exact_solver_agrees_with_heuristic_on_easy_instances() {
+    // On instances where one polling point suffices, both must find the
+    // single-stop tour.
+    let net = network(10, 40.0, 60.0, 21); // R covers the whole field
+    let heur = ShdgPlanner::new().plan(&net).unwrap();
+    let exact = mobile_collectors::core::exact_plan(&net).unwrap();
+    assert_eq!(heur.n_polling_points(), 1);
+    assert_eq!(exact.n_polling_points(), 1);
+    assert!(exact.tour_length <= heur.tour_length + 1e-9);
+}
+
+#[test]
+fn round_scheme_trait_objects_work_across_crates() {
+    // The lifetime driver must accept both schemes through the trait.
+    let net = network(60, 150.0, 30.0, 2);
+    let plan = ShdgPlanner::new().plan(&net).unwrap();
+    let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+    let mut schemes: Vec<Box<dyn RoundScheme>> = vec![
+        Box::new(MobileGatheringSim::new(scen, SimConfig::default())),
+        Box::new(MultihopRoutingSim::new(&net, SimConfig::default())),
+    ];
+    for s in &mut schemes {
+        let alive = vec![true; s.n_nodes()];
+        let r = s.round(&alive);
+        assert!(r.packets_expected > 0);
+    }
+}
+
+#[test]
+fn grid_candidate_plans_are_simulatable() {
+    use mobile_collectors::core::{CandidateMode, PlannerConfig};
+    let net = network(80, 150.0, 30.0, 17);
+    let cfg = PlannerConfig {
+        candidates: CandidateMode::Grid { spacing: 20.0 },
+        ..PlannerConfig::default()
+    };
+    let plan = ShdgPlanner::with_config(cfg).plan(&net).unwrap();
+    plan.validate(&net.deployment.sensors, net.range).unwrap();
+    let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+    let round = MobileGatheringSim::new(scen, SimConfig::default()).run();
+    assert_eq!(round.packets_delivered, net.n_sensors());
+}
+
+#[test]
+fn batteries_drain_consistently_across_schemes() {
+    // simulate_lifetime over the mobile scheme: every sensor dies after
+    // floor(battery / per-round-cost) rounds; with uniform single-hop
+    // costs the first death round is predictable from the max upload
+    // distance.
+    let net = network(50, 120.0, 30.0, 4);
+    let plan = ShdgPlanner::new().plan(&net).unwrap();
+    let cfg = SimConfig::default();
+    let max_cost = plan
+        .upload_distances(&net.deployment.sensors)
+        .iter()
+        .map(|&d| cfg.radio.tx_cost(d))
+        .fold(0.0, f64::max);
+    let battery = 0.01;
+    let predicted_first_death = (battery / max_cost).ceil() as u64;
+    let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+    let mut sim = MobileGatheringSim::new(scen, cfg);
+    let life = simulate_lifetime(&mut sim, battery, 100_000);
+    assert_eq!(life.first_death_round, Some(predicted_first_death));
+}

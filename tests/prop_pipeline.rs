@@ -1,0 +1,78 @@
+//! Property-based integration tests over the full pipeline.
+
+use mobile_collectors::prelude::*;
+use proptest::prelude::*;
+
+fn arb_net() -> impl Strategy<Value = Network> {
+    (10usize..150, 100.0..320.0f64, 20.0..50.0f64, any::<u64>()).prop_map(|(n, side, r, seed)| {
+        Network::build(DeploymentConfig::uniform(n, side).generate(seed), r)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_plan_survives_a_simulated_round(net in arb_net()) {
+        let plan = ShdgPlanner::new().plan(&net).unwrap();
+        prop_assert!(plan.validate(&net.deployment.sensors, net.range).is_ok());
+        let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+        let round = MobileGatheringSim::new(scen, SimConfig::default()).run();
+        prop_assert_eq!(round.packets_delivered, net.n_sensors());
+        prop_assert_eq!(round.packets_expected, net.n_sensors());
+        // Exactly one transmission per sensor (the SHDG invariant).
+        prop_assert_eq!(round.total_transmissions(), net.n_sensors() as u64);
+    }
+
+    #[test]
+    fn shdg_never_longer_than_visit_all(net in arb_net()) {
+        let shdg = ShdgPlanner::new().plan(&net).unwrap();
+        let va = visit_all_plan(&net);
+        prop_assert!(shdg.tour_length <= va.tour_length + 1e-6);
+        prop_assert!(shdg.n_polling_points() <= va.n_polling_points());
+    }
+
+    #[test]
+    fn mobile_energy_beats_routing_when_connected(net in arb_net()) {
+        let cfg = SimConfig::default();
+        let plan = ShdgPlanner::new().plan(&net).unwrap();
+        let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+        let mobile = MobileGatheringSim::new(scen, cfg).run();
+        let routing = MultihopRoutingSim::new(&net, cfg).run();
+        if routing.delivery_ratio() == 1.0 && net.n_sensors() > 0 {
+            // Same packets collected; mobile never uses more transmissions.
+            prop_assert!(mobile.total_transmissions() <= routing.total_transmissions());
+        }
+    }
+
+    #[test]
+    fn fleet_invariants_hold(net in arb_net(), k in 1usize..6) {
+        use mobile_collectors::core::fleet::plan_fleet;
+        let plan = ShdgPlanner::new().plan(&net).unwrap();
+        let fleet = plan_fleet(&plan, k);
+        prop_assert!(fleet.validate(&plan).is_ok());
+        // Sub-tour lengths are consistent with their polling points.
+        for c in &fleet.collectors {
+            let mut pts = vec![plan.sink];
+            pts.extend(c.polling_points.iter().map(|&i| plan.polling_points[i].pos));
+            let expect = mdg_geom::closed_tour_length(&pts);
+            prop_assert!((c.length - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lifetime_is_monotone_in_battery(seed in any::<u64>()) {
+        let net = Network::build(DeploymentConfig::uniform(40, 150.0).generate(seed), 30.0);
+        let plan = ShdgPlanner::new().plan(&net).unwrap();
+        let cfg = SimConfig::default();
+        let mut prev = 0u64;
+        for battery in [0.001, 0.004, 0.016] {
+            let scen = scenario_from_plan(&plan, &net.deployment.sensors);
+            let mut sim = MobileGatheringSim::new(scen, cfg);
+            let life = simulate_lifetime(&mut sim, battery, 1_000_000);
+            let death = life.first_death_round.unwrap_or(u64::MAX);
+            prop_assert!(death >= prev, "bigger battery must not die earlier");
+            prev = death;
+        }
+    }
+}
