@@ -375,8 +375,12 @@ pub fn f6(p: &Params) -> Table {
 /// F7: network lifetime (rounds to first death) vs N, SHDG vs multi-hop
 /// routing.
 pub fn f7(p: &Params) -> Table {
+    // Lifetime comparison needs a *connected* topology: unreachable
+    // sensors never transmit under multihop routing, which would make a
+    // sparse smoke network spuriously outlive mobile collection. n = 100
+    // on the 200 m field (the paper's default density) is connected w.h.p.
     let ns = match p.profile {
-        Profile::Smoke => vec![40],
+        Profile::Smoke => vec![100],
         _ => vec![100, 200, 300, 400, 500],
     };
     let mut t = Table::new(

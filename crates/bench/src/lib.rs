@@ -4,12 +4,13 @@
 //! repository's `DESIGN.md` and `EXPERIMENTS.md` for the per-experiment
 //! index). Each function sweeps the figure's parameter, replays every
 //! scheme over identical seeded topologies, averages across replicates in
-//! parallel (rayon), and returns a [`table::Table`] that the `experiments`
+//! parallel (std threads), and returns a [`table::Table`] that the `experiments`
 //! binary prints as markdown and CSV.
 //!
 //! The Criterion benches in `benches/` wrap the same per-point workloads
 //! for performance tracking.
 
+pub mod faults;
 pub mod figures;
 pub mod params;
 pub mod runner;
@@ -22,7 +23,7 @@ pub use table::Table;
 /// All experiment ids, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "e1", "t1", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "a1",
-    "a2", "a3",
+    "a2", "a3", "faults",
 ];
 
 /// Runs one experiment by id.
@@ -45,6 +46,7 @@ pub fn run_experiment(id: &str, params: &Params) -> Option<Table> {
         "a1" => Some(figures::a1(params)),
         "a2" => Some(figures::a2(params)),
         "a3" => Some(figures::a3(params)),
+        "faults" => Some(faults::faults(params)),
         _ => None,
     }
 }

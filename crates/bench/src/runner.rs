@@ -1,18 +1,55 @@
-//! Parallel replicate execution.
+//! Parallel replicate execution (std threads; no external deps).
 
 use crate::params::Params;
-use rayon::prelude::*;
 
-/// Runs `f(seed)` for every replicate seed in parallel and returns the
-/// results in seed order (deterministic regardless of thread scheduling).
+/// Runs `f(seed)` for every replicate seed across all cores and returns
+/// the results in seed order (deterministic regardless of scheduling).
 pub fn replicate<R, F>(params: &Params, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(u64) -> R + Sync,
 {
-    (0..params.replicates)
-        .into_par_iter()
-        .map(|i| f(params.seed(i)))
+    let n = params.replicates;
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(|i| f(params.seed(i))).collect();
+    }
+
+    // Work-stealing over a shared atomic counter; each worker returns
+    // (index, result) pairs which are scattered back into seed order.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let pairs: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let f = &f;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            return local;
+                        }
+                        local.push((i, f(params.seed(i))));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("replicate worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in pairs {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every replicate slot filled"))
         .collect()
 }
 
@@ -70,6 +107,16 @@ mod tests {
         };
         let out = replicate_mean(&p, |seed| vec![seed as f64, 10.0]);
         assert_eq!(out, vec![1.5, 10.0]);
+    }
+
+    #[test]
+    fn single_replicate_uses_fallback_path() {
+        let p = Params {
+            replicates: 1,
+            base_seed: 7,
+            ..Params::default()
+        };
+        assert_eq!(replicate(&p, |seed| seed), vec![7]);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod exact;
 pub mod fleet;
 pub mod ilp;
 pub mod metrics;
+pub mod mutate;
 pub mod plan;
 pub mod planner;
 pub mod tour_aware;
@@ -45,6 +46,7 @@ pub use fleet::{
 };
 pub use ilp::{check_plan_against_ilp, IlpInstance};
 pub use metrics::PlanMetrics;
+pub use mutate::UNASSIGNED;
 pub use plan::{GatheringPlan, PollingPoint};
 pub use planner::{plan_default, CandidateMode, CoveringStrategy, PlannerConfig, ShdgPlanner};
 pub use tour_aware::{tour_aware_cover, TourAwareConfig, TourAwareCover};

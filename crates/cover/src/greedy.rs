@@ -66,6 +66,80 @@ where
     Some(selected)
 }
 
+/// Greedy cover of a **subset** of targets using a **subset** of
+/// candidates — the incremental-repair entry point. After node failures,
+/// the runtime re-covers the orphaned sensors (`targets`) using only
+/// candidates anchored at live nodes (`allowed`), leaving the rest of the
+/// plan untouched.
+///
+/// Returns selected candidate indices (into `inst.candidates`, drawn from
+/// `allowed`) in selection order, or `None` if some requested target is
+/// covered by no allowed candidate. Targets outside `targets` are ignored
+/// entirely: they neither need covering nor contribute to gains.
+///
+/// ```
+/// use mdg_cover::{greedy_cover_restricted, CoverageInstance};
+/// use mdg_geom::Point;
+///
+/// let sensors = [Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)];
+/// let inst = CoverageInstance::sensor_sites(&sensors, 12.0);
+/// // Re-cover sensor 0 without using candidate 1 (its anchor died).
+/// let sel = greedy_cover_restricted(&inst, &[0], &[0, 2], |_| 0.0).unwrap();
+/// assert_eq!(sel, vec![0]);
+/// ```
+pub fn greedy_cover_restricted<F>(
+    inst: &CoverageInstance,
+    targets: &[usize],
+    allowed: &[usize],
+    tie_break: F,
+) -> Option<Vec<usize>>
+where
+    F: Fn(usize) -> f64,
+{
+    let n = inst.n_targets();
+    // Treat everything outside `targets` as pre-covered, then run the
+    // standard greedy loop over the allowed candidates.
+    let wanted = BitSet::from_indices(n, targets);
+    let mut covered = BitSet::new(n);
+    for t in 0..n {
+        if !wanted.get(t) {
+            covered.set(t);
+        }
+    }
+    let mut selected = Vec::new();
+    let mut remaining = wanted.count();
+
+    while remaining > 0 {
+        let mut best = usize::MAX;
+        let mut best_gain = 0usize;
+        let mut best_tie = f64::INFINITY;
+        for &c in allowed {
+            let gain = inst.candidates[c].covers.count_and_not(&covered);
+            if gain == 0 {
+                continue;
+            }
+            if gain > best_gain {
+                best = c;
+                best_gain = gain;
+                best_tie = tie_break(c);
+            } else if gain == best_gain {
+                let t = tie_break(c);
+                if t < best_tie {
+                    best = c;
+                    best_tie = t;
+                }
+            }
+        }
+        if best == usize::MAX {
+            return None; // Some requested target is unreachable.
+        }
+        covered.union_with(&inst.candidates[best].covers);
+        selected.push(best);
+        remaining -= best_gain;
+    }
+    Some(selected)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +213,50 @@ mod tests {
         let mut sel = greedy_cover(&inst, |_| 0.0).unwrap();
         sel.sort_unstable();
         assert_eq!(sel, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn restricted_cover_ignores_forbidden_candidates() {
+        let sensors = line(&[0.0, 10.0, 20.0, 30.0]);
+        let inst = CoverageInstance::sensor_sites(&sensors, 12.0);
+        // Orphans {1, 2}; candidate 1 and 2 forbidden (anchors dead).
+        let sel = greedy_cover_restricted(&inst, &[1, 2], &[0, 3], |_| 0.0).unwrap();
+        let mut sorted = sel.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 3], "0 reaches 1, 3 reaches 2");
+    }
+
+    #[test]
+    fn restricted_cover_reports_unreachable_targets() {
+        let sensors = line(&[0.0, 10.0, 50.0]);
+        let inst = CoverageInstance::sensor_sites(&sensors, 12.0);
+        assert_eq!(
+            greedy_cover_restricted(&inst, &[2], &[0, 1], |_| 0.0),
+            None,
+            "sensor 2 is out of range of every allowed candidate"
+        );
+    }
+
+    #[test]
+    fn restricted_with_no_targets_selects_nothing() {
+        let sensors = line(&[0.0, 10.0]);
+        let inst = CoverageInstance::sensor_sites(&sensors, 12.0);
+        assert_eq!(
+            greedy_cover_restricted(&inst, &[], &[0, 1], |_| 0.0).unwrap(),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn restricted_matches_full_greedy_when_unrestricted() {
+        let sensors = line(&[0.0, 10.0, 20.0, 30.0, 40.0, 100.0]);
+        let inst = CoverageInstance::sensor_sites(&sensors, 12.0);
+        let all_targets: Vec<usize> = (0..sensors.len()).collect();
+        let all_cands: Vec<usize> = (0..inst.n_candidates()).collect();
+        let full = greedy_cover(&inst, |c| c as f64).unwrap();
+        let restricted =
+            greedy_cover_restricted(&inst, &all_targets, &all_cands, |c| c as f64).unwrap();
+        assert_eq!(full, restricted);
     }
 
     #[test]

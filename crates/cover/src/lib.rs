@@ -27,6 +27,6 @@ pub mod prune;
 pub use bitset::BitSet;
 pub use capacitated::{capacitated_greedy_cover, CapacitatedCover};
 pub use exact::exact_min_cover;
-pub use greedy::greedy_cover;
+pub use greedy::{greedy_cover, greedy_cover_restricted};
 pub use instance::{Candidate, CoverageInstance};
 pub use prune::prune_cover;

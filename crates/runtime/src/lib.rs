@@ -1,0 +1,61 @@
+//! # mdg-runtime — online re-planning and fault-tolerant gathering
+//!
+//! The paper's SHDG pipeline (`mdg-core`) plans **offline**: it assumes
+//! the deployment it was given stays intact while the mobile collector
+//! drives round after round. Real networks do not cooperate — sensors
+//! fail, uploads are lost, and collectors slow down. This crate closes
+//! the loop: an event-driven runtime that watches each round's outcome
+//! and incrementally repairs the gathering plan online.
+//!
+//! The pieces:
+//!
+//! * [`faults`] — seeded, deterministic fault plans: node deaths at
+//!   scheduled times, per-upload packet loss with bounded
+//!   retry/backoff, and collector speed degradation, injected through
+//!   `mdg-sim`'s [`mdg_sim::RoundHooks`].
+//! * [`state`] — the runtime's evolving view of the network: liveness,
+//!   residual energy, and orphaned-coverage accounting.
+//! * [`repair`] — the incremental re-planner: purge the dead, drop stale
+//!   stops, adopt orphans into surviving stops, re-cover the rest via
+//!   restricted greedy + cheapest-insertion splicing + 2-opt touch-up,
+//!   escalating to a full re-plan when too much of the tour is lost.
+//!   Invariant: every live sensor stays single-hop covered.
+//! * [`trace`] — JSONL round traces whose every field is deterministic
+//!   in `(seed, config)`: same seed, byte-identical trace.
+//! * [`runtime`] — the control loop tying it together, with
+//!   [`RepairPolicy::Static`] (the paper's offline plan, driven
+//!   unchanged) as the baseline against [`RepairPolicy::Repair`].
+//!
+//! ```
+//! use mdg_core::ShdgPlanner;
+//! use mdg_net::{DeploymentConfig, Network};
+//! use mdg_runtime::{FaultConfig, GatheringRuntime, RuntimeConfig};
+//!
+//! let net = Network::build(DeploymentConfig::uniform(60, 200.0).generate(7), 30.0);
+//! let plan = ShdgPlanner::new().plan(&net).unwrap();
+//! let cfg = RuntimeConfig {
+//!     faults: FaultConfig {
+//!         seed: 7,
+//!         death_rate: 0.1,
+//!         death_horizon_secs: 2_000.0,
+//!         loss_rate: 0.05,
+//!         ..FaultConfig::default()
+//!     },
+//!     max_rounds: 10,
+//!     ..RuntimeConfig::default()
+//! };
+//! let report = GatheringRuntime::new(net, plan, cfg).run();
+//! assert!(report.delivery_ratio() > 0.9);
+//! ```
+
+pub mod faults;
+pub mod repair;
+pub mod runtime;
+pub mod state;
+pub mod trace;
+
+pub use faults::{FaultConfig, FaultCounters, FaultPlan, RoundFaults, Slowdown};
+pub use repair::{repair_plan, RepairConfig, RepairReport};
+pub use runtime::{GatheringRuntime, RepairPolicy, RuntimeConfig, RuntimeReport};
+pub use state::{DeathCause, NetworkState};
+pub use trace::{parse_trace, RoundRecord, TraceWriter};

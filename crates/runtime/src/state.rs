@@ -1,0 +1,189 @@
+//! Network-state tracking: the runtime's view of which sensors are alive,
+//! how much energy they have left, and how long live sensors have spent
+//! uncovered ("orphaned").
+//!
+//! The tracker is fed from simulation outputs (per-round energy ledgers)
+//! and from the fault plan (scheduled deaths); it never peeks at future
+//! faults, so the repair loop observes deaths with the same one-round lag
+//! a real deployment would.
+
+use mdg_energy::{Battery, EnergyLedger};
+
+/// Why a sensor died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeathCause {
+    /// Killed by the fault plan (hardware failure).
+    Fault,
+    /// Battery exhausted.
+    Energy,
+}
+
+/// The runtime's evolving view of the network.
+#[derive(Debug, Clone)]
+pub struct NetworkState {
+    /// Liveness per sensor.
+    alive: Vec<bool>,
+    /// Batteries (absent when running without an energy budget).
+    batteries: Option<Vec<Battery>>,
+    /// Simulation clock, seconds.
+    pub clock_secs: f64,
+    /// Total live-sensor-seconds spent without single-hop coverage.
+    pub orphan_secs: f64,
+    /// Total (sensor, round) pairs where a live sensor was uncovered.
+    pub orphan_sensor_rounds: u64,
+    /// Sensors killed by the fault plan.
+    pub fault_deaths: usize,
+    /// Sensors killed by battery exhaustion.
+    pub energy_deaths: usize,
+}
+
+impl NetworkState {
+    /// Fresh state: everyone alive at `t = 0`, each sensor holding
+    /// `battery_j` joules (`None` = unlimited energy).
+    pub fn new(n: usize, battery_j: Option<f64>) -> Self {
+        NetworkState {
+            alive: vec![true; n],
+            batteries: battery_j.map(|j| vec![Battery::new(j); n]),
+            clock_secs: 0.0,
+            orphan_secs: 0.0,
+            orphan_sensor_rounds: 0,
+            fault_deaths: 0,
+            energy_deaths: 0,
+        }
+    }
+
+    /// The liveness mask.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Whether sensor `s` is alive.
+    pub fn is_alive(&self, s: usize) -> bool {
+        self.alive[s]
+    }
+
+    /// Number of live sensors.
+    pub fn n_alive(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Residual energy per sensor (`None` without an energy budget;
+    /// dead sensors report 0).
+    pub fn residual_j(&self) -> Option<Vec<f64>> {
+        self.batteries.as_ref().map(|bats| {
+            bats.iter()
+                .zip(&self.alive)
+                .map(|(b, &a)| if a { b.remaining() } else { 0.0 })
+                .collect()
+        })
+    }
+
+    /// Kills sensor `s` (idempotent: killing a dead sensor is a no-op and
+    /// is not double-counted).
+    pub fn kill(&mut self, s: usize, cause: DeathCause) {
+        if !self.alive[s] {
+            return;
+        }
+        self.alive[s] = false;
+        match cause {
+            DeathCause::Fault => self.fault_deaths += 1,
+            DeathCause::Energy => self.energy_deaths += 1,
+        }
+    }
+
+    /// Charges each live sensor's battery with its share of the round's
+    /// ledger and kills the exhausted ones. Returns the newly dead sensor
+    /// ids (ascending). No-op without an energy budget.
+    pub fn apply_round_energy(&mut self, ledger: &EnergyLedger) -> Vec<usize> {
+        let Some(bats) = self.batteries.as_mut() else {
+            return Vec::new();
+        };
+        assert_eq!(bats.len(), ledger.len(), "ledger covers every sensor");
+        let mut newly_dead = Vec::new();
+        for (s, battery) in bats.iter_mut().enumerate() {
+            if !self.alive[s] {
+                continue;
+            }
+            battery.drain(ledger.joules_of(s));
+            if battery.is_dead() {
+                newly_dead.push(s);
+            }
+        }
+        for &s in &newly_dead {
+            self.kill(s, DeathCause::Energy);
+        }
+        newly_dead
+    }
+
+    /// Records that `orphans` live sensors went uncovered for a round of
+    /// the given duration.
+    pub fn note_orphans(&mut self, orphans: usize, round_secs: f64) {
+        self.orphan_secs += orphans as f64 * round_secs;
+        self.orphan_sensor_rounds += orphans as u64;
+    }
+
+    /// Advances the simulation clock.
+    pub fn advance(&mut self, secs: f64) {
+        assert!(secs >= 0.0 && secs.is_finite(), "round duration");
+        self.clock_secs += secs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdg_energy::RadioModel;
+
+    #[test]
+    fn kill_is_idempotent_and_counted_by_cause() {
+        let mut st = NetworkState::new(4, None);
+        st.kill(1, DeathCause::Fault);
+        st.kill(1, DeathCause::Energy);
+        st.kill(2, DeathCause::Energy);
+        assert_eq!(st.n_alive(), 2);
+        assert_eq!(st.fault_deaths, 1);
+        assert_eq!(st.energy_deaths, 1);
+        assert_eq!(st.alive(), &[true, false, false, true]);
+    }
+
+    #[test]
+    fn energy_depletion_kills() {
+        let mut st = NetworkState::new(2, Some(1e-4));
+        let mut ledger = EnergyLedger::new(2, RadioModel::default());
+        // Sensor 0 transmits far enough to exhaust its 0.1 mJ budget.
+        for _ in 0..100 {
+            ledger.record_tx(0, 30.0);
+        }
+        let dead = st.apply_round_energy(&ledger);
+        assert_eq!(dead, vec![0]);
+        assert_eq!(st.energy_deaths, 1);
+        assert!(st.is_alive(1));
+        let res = st.residual_j().unwrap();
+        assert_eq!(res[0], 0.0);
+        assert!(res[1] > 0.0);
+    }
+
+    #[test]
+    fn no_budget_means_no_energy_deaths() {
+        let mut st = NetworkState::new(2, None);
+        let mut ledger = EnergyLedger::new(2, RadioModel::default());
+        for _ in 0..1_000 {
+            ledger.record_tx(0, 30.0);
+        }
+        assert!(st.apply_round_energy(&ledger).is_empty());
+        assert!(st.residual_j().is_none());
+        assert_eq!(st.n_alive(), 2);
+    }
+
+    #[test]
+    fn orphan_accounting_accumulates() {
+        let mut st = NetworkState::new(10, None);
+        st.note_orphans(3, 100.0);
+        st.note_orphans(0, 50.0);
+        st.note_orphans(1, 10.0);
+        assert_eq!(st.orphan_secs, 310.0);
+        assert_eq!(st.orphan_sensor_rounds, 4);
+        st.advance(160.0);
+        assert_eq!(st.clock_secs, 160.0);
+    }
+}

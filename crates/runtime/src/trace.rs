@@ -1,0 +1,144 @@
+//! JSONL event traces: one JSON object per completed round.
+//!
+//! Every field in a [`RoundRecord`] is a deterministic function of the
+//! runtime's seed and configuration — wall-clock measurements live in
+//! [`crate::runtime::RuntimeReport`] instead — so two runs with the same
+//! seed produce **byte-identical** trace files. The determinism regression
+//! test relies on this.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+
+/// Per-round trace record (one JSONL line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round number, starting at 0.
+    pub round: u64,
+    /// Simulation time at the start of the round, seconds.
+    pub t_start_secs: f64,
+    /// Round duration, seconds.
+    pub duration_secs: f64,
+    /// Live sensors at collection time (after this round's fault deaths).
+    pub n_alive: usize,
+    /// Packets delivered to the collector.
+    pub delivered: usize,
+    /// Packets expected (one per live, covered sensor).
+    pub expected: usize,
+    /// Retransmissions performed this round.
+    pub retries: u64,
+    /// Upload attempts lost to the loss process.
+    pub attempt_failures: u64,
+    /// Packets abandoned after exhausting retries.
+    pub drops: u64,
+    /// Live sensors without single-hop coverage this round.
+    pub orphans: usize,
+    /// Cumulative orphaned live-sensor-seconds so far.
+    pub orphan_secs_total: f64,
+    /// Whether plan repair changed the plan before this round.
+    pub repaired: bool,
+    /// Stale stops removed by the repair.
+    pub stops_removed: usize,
+    /// Replacement stops spliced in by the repair.
+    pub stops_added: usize,
+    /// Whether the repair escalated to a full re-plan.
+    pub full_replan: bool,
+    /// Deterministic repair work measure (candidate/edge scans).
+    pub repair_ops: u64,
+    /// Tour length driven this round, meters.
+    pub tour_length_m: f64,
+}
+
+/// Writes [`RoundRecord`]s as JSON Lines.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    records: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps `sink`. Each record becomes one `\n`-terminated JSON line.
+    pub fn new(sink: W) -> Self {
+        TraceWriter { sink, records: 0 }
+    }
+
+    /// Appends one record.
+    pub fn record(&mut self, rec: &RoundRecord) -> std::io::Result<()> {
+        let line = serde_json::to_string(rec)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        self.sink.write_all(line.as_bytes())?;
+        self.sink.write_all(b"\n")?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Parses a JSONL trace back into records (inverse of [`TraceWriter`]).
+pub fn parse_trace(text: &str) -> Result<Vec<RoundRecord>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).map_err(|e| format!("bad trace line: {e}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(round: u64) -> RoundRecord {
+        RoundRecord {
+            round,
+            t_start_secs: 12.5 * round as f64,
+            duration_secs: 12.5,
+            n_alive: 40,
+            delivered: 39,
+            expected: 40,
+            retries: 3,
+            attempt_failures: 4,
+            drops: 1,
+            orphans: 0,
+            orphan_secs_total: 0.0,
+            repaired: round == 1,
+            stops_removed: 0,
+            stops_added: 0,
+            full_replan: false,
+            repair_ops: 17,
+            tour_length_m: 321.0,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_jsonl() {
+        let mut w = TraceWriter::new(Vec::new());
+        w.record(&sample(0)).unwrap();
+        w.record(&sample(1)).unwrap();
+        assert_eq!(w.records_written(), 2);
+        let bytes = w.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(back, vec![sample(0), sample(1)]);
+    }
+
+    #[test]
+    fn identical_records_serialize_identically() {
+        let a = serde_json::to_string(&sample(3)).unwrap();
+        let b = serde_json::to_string(&sample(3)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_trace("{not json}").is_err());
+    }
+}

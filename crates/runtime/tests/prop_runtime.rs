@@ -1,0 +1,87 @@
+//! Property-based tests for plan repair: across randomized fault
+//! scenarios, a repaired plan must (a) keep every live sensor single-hop
+//! covered and (b) stay within 1.5× of a from-scratch re-plan's tour.
+
+use mdg_core::ShdgPlanner;
+use mdg_cover::CoverageInstance;
+use mdg_net::{Deployment, DeploymentConfig, Network};
+use mdg_runtime::{repair_plan, RepairConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A network plus a random alive mask (kill up to 40% of the sensors).
+fn arb_scenario() -> impl Strategy<Value = (Network, Vec<bool>)> {
+    (20usize..120, any::<u64>(), any::<u64>(), 0.0..0.4f64).prop_map(
+        |(n, net_seed, kill_seed, death_rate)| {
+            let net = Network::build(DeploymentConfig::uniform(n, 200.0).generate(net_seed), 30.0);
+            let mut rng = StdRng::seed_from_u64(kill_seed);
+            let alive: Vec<bool> = (0..n).map(|_| !rng.gen_bool(death_rate)).collect();
+            (net, alive)
+        },
+    )
+}
+
+/// Tour length of a from-scratch plan over only the live sensors.
+fn full_replan_length(net: &Network, alive: &[bool]) -> f64 {
+    let live: Vec<_> = net
+        .deployment
+        .sensors
+        .iter()
+        .zip(alive)
+        .filter(|(_, &a)| a)
+        .map(|(&p, _)| p)
+        .collect();
+    if live.is_empty() {
+        return 0.0;
+    }
+    let sub = Network::build(
+        Deployment {
+            sensors: live,
+            sink: net.deployment.sink,
+            field: net.deployment.field,
+        },
+        net.range,
+    );
+    ShdgPlanner::new().plan(&sub).unwrap().tour_length
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    #[test]
+    fn repair_covers_all_live_sensors_with_bounded_tour((net, alive) in arb_scenario()) {
+        let mut plan = ShdgPlanner::new().plan(&net).unwrap();
+        let inst = CoverageInstance::sensor_sites(&net.deployment.sensors, net.range);
+        repair_plan(&mut plan, &net, &inst, &alive, &RepairConfig::default());
+
+        // (a) Coverage invariant: every live sensor single-hop covered by
+        //     an in-range polling point.
+        prop_assert!(
+            plan.validate_live(&net.deployment.sensors, net.range, &alive).is_ok(),
+            "repaired plan fails live validation: {:?}",
+            plan.validate_live(&net.deployment.sensors, net.range, &alive)
+        );
+
+        // (b) Quality: the incrementally repaired tour stays within 1.5×
+        //     of re-planning the surviving sub-network from scratch.
+        let scratch = full_replan_length(&net, &alive);
+        prop_assert!(
+            plan.tour_length <= 1.5 * scratch + 1e-6,
+            "repaired tour {} vs 1.5 × scratch {}",
+            plan.tour_length,
+            scratch
+        );
+    }
+
+    #[test]
+    fn repair_is_idempotent((net, alive) in arb_scenario()) {
+        let mut plan = ShdgPlanner::new().plan(&net).unwrap();
+        let inst = CoverageInstance::sensor_sites(&net.deployment.sensors, net.range);
+        repair_plan(&mut plan, &net, &inst, &alive, &RepairConfig::default());
+        let repaired = plan.clone();
+        let second = repair_plan(&mut plan, &net, &inst, &alive, &RepairConfig::default());
+        prop_assert!(!second.changed(), "second repair must be a no-op: {second:?}");
+        prop_assert_eq!(plan, repaired);
+    }
+}

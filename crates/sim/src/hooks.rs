@@ -1,0 +1,138 @@
+//! Fault-injection and observation hooks threaded through the mobile DES.
+//!
+//! [`MobileGatheringSim::run_round_with`] accepts a [`RoundHooks`]
+//! implementation that can perturb the round (per-attempt upload loss with
+//! bounded retry/backoff, collector speed degradation) and observe every
+//! externally meaningful event. The fault-free default, [`NoFaults`],
+//! reduces the instrumented round to the plain one bit-for-bit.
+//!
+//! Hook implementations drive their own randomness (typically a seeded
+//! PRNG); the simulator itself stays deterministic — identical hook
+//! decisions replay identical rounds.
+//!
+//! [`MobileGatheringSim::run_round_with`]: crate::MobileGatheringSim::run_round_with
+
+/// An externally meaningful event inside one simulated round. Times are
+/// seconds since the round started.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// The collector arrived at stop `stop`.
+    CollectorArrived {
+        /// Stop index in visiting order.
+        stop: usize,
+        /// Arrival time.
+        t: f64,
+    },
+    /// `source`'s packet was received by the collector.
+    UploadDelivered {
+        /// Originating sensor.
+        source: usize,
+        /// Stop where the upload completed.
+        stop: usize,
+        /// Completion time.
+        t: f64,
+        /// Total attempts made (1 = first try succeeded).
+        attempts: u32,
+    },
+    /// One upload attempt of `source`'s packet was lost (it may retry).
+    UploadAttemptFailed {
+        /// Originating sensor.
+        source: usize,
+        /// Stop where the attempt happened.
+        stop: usize,
+        /// Failure time.
+        t: f64,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+    },
+    /// `source`'s packet was abandoned after exhausting its retries.
+    UploadDropped {
+        /// Originating sensor.
+        source: usize,
+        /// Stop where the packet was abandoned.
+        stop: usize,
+        /// Drop time.
+        t: f64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// `source`'s packet died mid-relay (a hop endpoint was dead).
+    PacketLostInRelay {
+        /// Originating sensor.
+        source: usize,
+        /// Loss time.
+        t: f64,
+    },
+    /// The collector completed the tour.
+    CollectorReturned {
+        /// Return time — the round duration.
+        t: f64,
+    },
+}
+
+/// Per-round fault and observation hooks.
+///
+/// Legs are indexed by destination: leg `0` is sink → first stop, leg `i`
+/// is stop `i-1` → stop `i`, and leg `n_stops` is the return to the sink.
+pub trait RoundHooks {
+    /// Speed multiplier for the collector on `leg` (`1.0` = nominal,
+    /// `< 1.0` = degraded/stalled). Must be positive and finite.
+    fn speed_factor(&mut self, leg: usize) -> f64 {
+        let _ = leg;
+        1.0
+    }
+
+    /// Whether upload attempt `attempt` (1-based) of `source`'s packet at
+    /// `stop` reaches the collector. Called once per attempt; the uploader
+    /// spends transmission energy either way.
+    fn upload_succeeds(
+        &mut self,
+        source: usize,
+        uploader: usize,
+        stop: usize,
+        attempt: u32,
+    ) -> bool {
+        let _ = (source, uploader, stop, attempt);
+        true
+    }
+
+    /// Retries allowed after a failed upload attempt before the packet is
+    /// dropped (0 = a single attempt, no retry).
+    fn max_retries(&mut self) -> u32 {
+        0
+    }
+
+    /// Extra idle time before retry attempt `attempt` (1-based retry
+    /// counter) begins. The collector waits this long on top of the
+    /// retransmission itself.
+    fn retry_backoff_secs(&mut self, attempt: u32) -> f64 {
+        let _ = attempt;
+        0.0
+    }
+
+    /// Observes a round event, in simulation-time order.
+    fn observe(&mut self, event: &SimEvent) {
+        let _ = event;
+    }
+}
+
+/// The fault-free hooks: nominal speed, lossless uploads, no observation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl RoundHooks for NoFaults {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let mut h = NoFaults;
+        assert_eq!(h.speed_factor(3), 1.0);
+        assert!(h.upload_succeeds(0, 0, 0, 1));
+        assert_eq!(h.max_retries(), 0);
+        assert_eq!(h.retry_backoff_secs(1), 0.0);
+        h.observe(&SimEvent::CollectorReturned { t: 1.0 }); // no-op
+    }
+}

@@ -25,6 +25,7 @@
 pub mod bridge;
 pub mod collector;
 pub mod fleet_sim;
+pub mod hooks;
 pub mod lifetime;
 pub mod mobile;
 pub mod multihop;
@@ -34,6 +35,7 @@ pub mod report;
 pub use bridge::scenario_from_plan;
 pub use collector::Trajectory;
 pub use fleet_sim::{simulate_fleet_round, FleetRoundReport};
+pub use hooks::{NoFaults, RoundHooks, SimEvent};
 pub use lifetime::{simulate_lifetime, LifetimeReport, RoundScheme};
 pub use mobile::{MobileGatheringSim, MobileScenario, Stop, Upload};
 pub use multihop::MultihopRoutingSim;

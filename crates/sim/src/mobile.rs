@@ -8,6 +8,7 @@
 //! flight — with realistic parameters relays (milliseconds per hop) always
 //! beat the collector (~1 m/s), but the simulator does not assume it.
 
+use crate::hooks::{NoFaults, RoundHooks, SimEvent};
 use crate::queue::EventQueue;
 use crate::report::RoundReport;
 use crate::{RoundScheme, SimConfig};
@@ -143,6 +144,14 @@ impl MobileGatheringSim {
     /// relay path crosses a dead node is lost (counted as undelivered,
     /// energy spent only on hops actually taken).
     pub fn run_round(&self, alive: &[bool]) -> RoundReport {
+        self.run_round_with(alive, &mut NoFaults)
+    }
+
+    /// Runs one round with fault-injection/observation hooks: uploads may
+    /// fail per attempt (bounded retry with backoff, energy spent on every
+    /// attempt) and the collector's speed may be degraded per leg. See
+    /// [`RoundHooks`]; with [`NoFaults`] this is exactly [`Self::run_round`].
+    pub fn run_round_with<H: RoundHooks>(&self, alive: &[bool], hooks: &mut H) -> RoundReport {
         assert_eq!(
             alive.len(),
             self.scenario.sensors.len(),
@@ -159,6 +168,7 @@ impl MobileGatheringSim {
             upload: Upload,
             ready: Option<f64>, // None while relaying or lost
             lost: bool,
+            attempts: u32,
         }
         let mut flats: Vec<Flat> = Vec::new();
         for (si, stop) in scen.stops.iter().enumerate() {
@@ -168,6 +178,7 @@ impl MobileGatheringSim {
                     upload: u.clone(),
                     ready: None,
                     lost: false,
+                    attempts: 0,
                 });
             }
         }
@@ -189,15 +200,24 @@ impl MobileGatheringSim {
             }
         }
 
+        // Travel time over `dist` meters on `leg`, honoring the hook's
+        // per-leg speed degradation.
+        macro_rules! leg_secs {
+            ($dist:expr, $leg:expr) => {{
+                let factor = hooks.speed_factor($leg);
+                assert!(
+                    factor.is_finite() && factor > 0.0,
+                    "speed factor must be positive and finite, got {factor}"
+                );
+                $dist / (cfg.speed_mps * factor)
+            }};
+        }
+
         // Collector arrival time at stop 0.
-        let first_leg = if scen.stops.is_empty() {
-            0.0
-        } else {
-            scen.sink.dist(scen.stops[0].pos) / cfg.speed_mps
-        };
         if scen.stops.is_empty() {
             queue.schedule(0.0, Event::CollectorReturn);
         } else {
+            let first_leg = leg_secs!(scen.sink.dist(scen.stops[0].pos), 0);
             queue.schedule(first_leg, Event::CollectorArrive { stop: 0 });
         }
 
@@ -241,10 +261,10 @@ impl MobileGatheringSim {
                             uploading = None;
                             let from = scen.stops[stop].pos;
                             if stop + 1 < n_stops {
-                                let leg = from.dist(scen.stops[stop + 1].pos) / cfg.speed_mps;
+                                let leg = leg_secs!(from.dist(scen.stops[stop + 1].pos), stop + 1);
                                 $queue.schedule_in(leg, Event::CollectorArrive { stop: stop + 1 });
                             } else {
-                                let leg = from.dist(scen.sink) / cfg.speed_mps;
+                                let leg = leg_secs!(from.dist(scen.sink), n_stops);
                                 $queue.schedule_in(leg, Event::CollectorReturn);
                             }
                         }
@@ -270,6 +290,10 @@ impl MobileGatheringSim {
                     }
                     if lost_mid {
                         flats[fi].lost = true;
+                        hooks.observe(&SimEvent::PacketLostInRelay {
+                            source: flats[fi].upload.source,
+                            t,
+                        });
                         // The collector may be waiting at this packet's
                         // stop with nothing else pending.
                         if collector_at == Some(flats[fi].stop) && uploading.is_none() {
@@ -299,26 +323,68 @@ impl MobileGatheringSim {
                 Event::CollectorArrive { stop } => {
                     collector_at = Some(stop);
                     uploading = None;
+                    hooks.observe(&SimEvent::CollectorArrived { stop, t });
                     advance_stop!(queue, stop);
                 }
                 Event::UploadDone { stop, upload: fi } => {
                     debug_assert_eq!(collector_at, Some(stop));
-                    // Charge the uploader's transmission to the collector.
                     let uploader = flats[fi].upload.uploader();
-                    if alive[uploader] {
-                        let d = scen.sensors[uploader].dist(scen.stops[stop].pos);
-                        ledger.record_tx(uploader, d);
-                        delivered += 1;
-                    } else {
+                    let source = flats[fi].upload.source;
+                    if !alive[uploader] {
                         flats[fi].lost = true;
+                        stop_uploads[stop].retain(|&x| x != fi);
+                        uploading = None;
+                        advance_stop!(queue, stop);
+                        continue;
                     }
-                    // Mark consumed.
+                    // The uploader spent transmission energy whether or not
+                    // the collector decoded the packet.
+                    let d = scen.sensors[uploader].dist(scen.stops[stop].pos);
+                    ledger.record_tx(uploader, d);
+                    flats[fi].attempts += 1;
+                    let attempts = flats[fi].attempts;
+                    if hooks.upload_succeeds(source, uploader, stop, attempts) {
+                        delivered += 1;
+                        hooks.observe(&SimEvent::UploadDelivered {
+                            source,
+                            stop,
+                            t,
+                            attempts,
+                        });
+                    } else {
+                        hooks.observe(&SimEvent::UploadAttemptFailed {
+                            source,
+                            stop,
+                            t,
+                            attempt: attempts,
+                        });
+                        if attempts <= hooks.max_retries() {
+                            // Back off, then retransmit; the collector
+                            // keeps waiting on this packet.
+                            let backoff = hooks.retry_backoff_secs(attempts);
+                            assert!(backoff >= 0.0, "backoff must be non-negative");
+                            queue.schedule_in(
+                                backoff + cfg.upload_secs,
+                                Event::UploadDone { stop, upload: fi },
+                            );
+                            continue;
+                        }
+                        flats[fi].lost = true;
+                        hooks.observe(&SimEvent::UploadDropped {
+                            source,
+                            stop,
+                            t,
+                            attempts,
+                        });
+                    }
+                    // Mark consumed (delivered or dropped).
                     stop_uploads[stop].retain(|&x| x != fi);
                     uploading = None;
                     advance_stop!(queue, stop);
                 }
                 Event::CollectorReturn => {
                     return_time = t;
+                    hooks.observe(&SimEvent::CollectorReturned { t });
                 }
             }
         }
@@ -505,5 +571,152 @@ mod tests {
         assert_eq!(a.duration_secs, b.duration_secs);
         assert_eq!(a.packets_delivered, b.packets_delivered);
         assert_eq!(a.ledger.total_joules(), b.ledger.total_joules());
+    }
+
+    /// Hooks that fail the first `fail_first` attempts of every upload,
+    /// allow `retries` retries with a fixed backoff, and log events.
+    struct TestFaults {
+        fail_first: u32,
+        retries: u32,
+        backoff: f64,
+        speed: f64,
+        events: Vec<SimEvent>,
+    }
+
+    impl RoundHooks for TestFaults {
+        fn speed_factor(&mut self, _leg: usize) -> f64 {
+            self.speed
+        }
+        fn upload_succeeds(&mut self, _s: usize, _u: usize, _st: usize, attempt: u32) -> bool {
+            attempt > self.fail_first
+        }
+        fn max_retries(&mut self) -> u32 {
+            self.retries
+        }
+        fn retry_backoff_secs(&mut self, _attempt: u32) -> f64 {
+            self.backoff
+        }
+        fn observe(&mut self, event: &SimEvent) {
+            self.events.push(*event);
+        }
+    }
+
+    #[test]
+    fn no_faults_hooks_match_plain_round() {
+        let sim = MobileGatheringSim::new(scenario(), config());
+        let plain = sim.run();
+        let hooked = sim.run_round_with(&[true; 3], &mut NoFaults);
+        assert_eq!(plain.duration_secs, hooked.duration_secs);
+        assert_eq!(plain.packets_delivered, hooked.packets_delivered);
+        assert_eq!(plain.ledger.total_joules(), hooked.ledger.total_joules());
+    }
+
+    #[test]
+    fn retry_recovers_lost_upload_and_charges_energy() {
+        let sim = MobileGatheringSim::new(scenario(), config());
+        let mut h = TestFaults {
+            fail_first: 1,
+            retries: 2,
+            backoff: 1.0,
+            speed: 1.0,
+            events: Vec::new(),
+        };
+        let r = sim.run_round_with(&[true; 3], &mut h);
+        assert_eq!(r.packets_delivered, 3, "every packet recovered on retry");
+        // Each packet: 1 failed + 1 successful attempt = 2 transmissions.
+        assert_eq!(r.total_transmissions(), 7, "6 uploads + 1 relay hop");
+        // Round stretches by 3 × (backoff + retransmission).
+        let baseline = sim.run();
+        let stretch = 3.0 * (1.0 + config().upload_secs);
+        assert!(
+            (r.duration_secs - baseline.duration_secs - stretch).abs() < 1e-9,
+            "got {} vs {}",
+            r.duration_secs,
+            baseline.duration_secs
+        );
+        let failed = h
+            .events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::UploadAttemptFailed { .. }))
+            .count();
+        assert_eq!(failed, 3);
+    }
+
+    #[test]
+    fn exhausted_retries_drop_the_packet() {
+        let sim = MobileGatheringSim::new(scenario(), config());
+        let mut h = TestFaults {
+            fail_first: u32::MAX,
+            retries: 2,
+            backoff: 0.0,
+            speed: 1.0,
+            events: Vec::new(),
+        };
+        let r = sim.run_round_with(&[true; 3], &mut h);
+        assert_eq!(r.packets_delivered, 0);
+        assert_eq!(r.packets_expected, 3);
+        let dropped = h
+            .events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::UploadDropped { attempts: 3, .. }))
+            .count();
+        assert_eq!(dropped, 3, "each packet dropped after 1 + 2 attempts");
+        // The round still terminates and the collector returns.
+        assert!(h
+            .events
+            .iter()
+            .any(|e| matches!(e, SimEvent::CollectorReturned { .. })));
+    }
+
+    #[test]
+    fn degraded_speed_stretches_travel_only() {
+        let sim = MobileGatheringSim::new(scenario(), config());
+        let baseline = sim.run();
+        let mut h = TestFaults {
+            fail_first: 0,
+            retries: 0,
+            backoff: 0.0,
+            speed: 0.5,
+            events: Vec::new(),
+        };
+        let r = sim.run_round_with(&[true; 3], &mut h);
+        assert_eq!(r.packets_delivered, 3);
+        // Travel doubles (40 s → 80 s); the 1.5 s of uploads does not.
+        let travel = baseline.duration_secs - 1.5;
+        assert!(
+            (r.duration_secs - (2.0 * travel + 1.5)).abs() < 1e-9,
+            "got {}",
+            r.duration_secs
+        );
+    }
+
+    #[test]
+    fn events_observed_in_time_order() {
+        let sim = MobileGatheringSim::new(scenario(), config());
+        let mut h = TestFaults {
+            fail_first: 1,
+            retries: 1,
+            backoff: 0.25,
+            speed: 1.0,
+            events: Vec::new(),
+        };
+        sim.run_round_with(&[true; 3], &mut h);
+        let times: Vec<f64> = h
+            .events
+            .iter()
+            .map(|e| match e {
+                SimEvent::CollectorArrived { t, .. }
+                | SimEvent::UploadDelivered { t, .. }
+                | SimEvent::UploadAttemptFailed { t, .. }
+                | SimEvent::UploadDropped { t, .. }
+                | SimEvent::PacketLostInRelay { t, .. }
+                | SimEvent::CollectorReturned { t } => *t,
+            })
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        assert!(matches!(
+            h.events.last(),
+            Some(SimEvent::CollectorReturned { .. })
+        ));
     }
 }

@@ -174,7 +174,16 @@ pub fn improve<C: CostMatrix>(cost: &C, tour: Tour, cfg: &ImproveConfig) -> Tour
         let g1 = two_opt_pass(cost, &mut order, cfg.min_gain);
         let g2 = or_opt_pass(cost, &mut order, cfg.max_segment, cfg.min_gain);
         if g1 + g2 <= cfg.min_gain {
-            break;
+            // Local optimum for this rotation. Or-opt skips wrapped
+            // segments, so the returned (normalized) rotation could still
+            // admit a move; converge on the normalized rotation too so the
+            // result is a true fixed point of this function.
+            order = Tour::from_order_unchecked(order).normalized().into_order();
+            let g3 = two_opt_pass(cost, &mut order, cfg.min_gain);
+            let g4 = or_opt_pass(cost, &mut order, cfg.max_segment, cfg.min_gain);
+            if g3 + g4 <= cfg.min_gain {
+                break;
+            }
         }
     }
     Tour::from_order_unchecked(order).normalized()

@@ -35,6 +35,7 @@ pub mod cost;
 pub mod exact;
 pub mod improve;
 pub mod lower_bound;
+pub mod splice;
 pub mod split;
 pub mod three_opt;
 pub mod tour;
@@ -46,6 +47,7 @@ pub use cost::{CostMatrix, EuclideanCost, MatrixCost};
 pub use exact::held_karp;
 pub use improve::{improve, or_opt, two_opt, ImproveConfig};
 pub use lower_bound::held_karp_lower_bound;
+pub use splice::{cheapest_insertion_position, splice_point};
 pub use split::{min_collectors_for_bound, split_into_k, SplitTour};
 pub use three_opt::three_opt;
 pub use tour::Tour;

@@ -1,0 +1,107 @@
+//! Incremental tour splicing: cheapest insertion of a new vertex into an
+//! existing closed tour.
+//!
+//! This is the plan-repair entry point: after node failures invalidate
+//! polling points, replacements are spliced into the surviving tour
+//! without re-solving the whole TSP (a 2-opt touch-up afterwards polishes
+//! the splice; see [`crate::improve`]).
+
+use mdg_geom::Point;
+
+/// Finds the cheapest place to insert `p` into the closed tour `cycle`
+/// (visited in order, wrapping from the last point back to the first).
+///
+/// Returns `(index, detour)`: inserting `p` before `cycle[index]` — with
+/// `index == cycle.len()` meaning on the closing edge — lengthens the tour
+/// by `detour` meters, the minimum over all edges. The returned index is
+/// never `0`, preserving the depot-first convention.
+///
+/// # Panics
+/// Panics if `cycle` is empty.
+pub fn cheapest_insertion_position(cycle: &[Point], p: Point) -> (usize, f64) {
+    assert!(!cycle.is_empty(), "cannot splice into an empty tour");
+    let n = cycle.len();
+    let mut best_idx = n;
+    let mut best_detour = f64::INFINITY;
+    for i in 0..n {
+        let a = cycle[i];
+        let b = cycle[(i + 1) % n];
+        let detour = a.dist(p) + p.dist(b) - a.dist(b);
+        if detour < best_detour {
+            best_detour = detour;
+            best_idx = i + 1;
+        }
+    }
+    (best_idx, best_detour)
+}
+
+/// Splices `p` into `cycle` at its cheapest position and returns the
+/// insertion index (see [`cheapest_insertion_position`]).
+pub fn splice_point(cycle: &mut Vec<Point>, p: Point) -> usize {
+    let (idx, _) = cheapest_insertion_position(cycle, p);
+    cycle.insert(idx, p);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdg_geom::closed_tour_length;
+
+    #[test]
+    fn inserts_on_the_nearest_edge() {
+        // Unit square; a point just outside the right edge.
+        let cycle = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ];
+        let (idx, detour) = cheapest_insertion_position(&cycle, Point::new(11.0, 5.0));
+        assert_eq!(idx, 2, "between (10,0) and (10,10)");
+        assert!(detour > 0.0 && detour < 1.0, "small detour, got {detour}");
+    }
+
+    #[test]
+    fn splice_matches_reported_detour() {
+        let mut cycle = vec![
+            Point::new(0.0, 0.0),
+            Point::new(30.0, 0.0),
+            Point::new(30.0, 30.0),
+        ];
+        let before = closed_tour_length(&cycle);
+        let p = Point::new(15.0, -2.0);
+        let (_, detour) = cheapest_insertion_position(&cycle, p);
+        splice_point(&mut cycle, p);
+        let after = closed_tour_length(&cycle);
+        assert!((after - before - detour).abs() < 1e-9);
+    }
+
+    #[test]
+    fn point_on_an_edge_is_free() {
+        let cycle = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let (idx, detour) = cheapest_insertion_position(&cycle, Point::new(5.0, 0.0));
+        assert!(detour.abs() < 1e-12);
+        assert!(idx == 1 || idx == 2);
+    }
+
+    #[test]
+    fn singleton_cycle_out_and_back() {
+        let cycle = vec![Point::new(0.0, 0.0)];
+        let (idx, detour) = cheapest_insertion_position(&cycle, Point::new(3.0, 4.0));
+        assert_eq!(idx, 1);
+        assert!((detour - 10.0).abs() < 1e-12, "out and back = 2 × 5");
+    }
+
+    #[test]
+    fn depot_position_never_usurped() {
+        let cycle = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ];
+        // A point nearest the closing edge (back to the depot).
+        let (idx, _) = cheapest_insertion_position(&cycle, Point::new(2.0, 3.0));
+        assert_eq!(idx, 3, "goes on the closing edge, not before the depot");
+    }
+}

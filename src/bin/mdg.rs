@@ -7,6 +7,9 @@
 //!              [--speed M/S] [--upload SECS] [--out fleet.json]
 //! mdg simulate --bundle bundle.json [--speed M/S] [--upload SECS]
 //!              [--battery JOULES]
+//! mdg runtime  --n 200 --side 200 --range 30 [--seed 42] [--rounds R]
+//!              [--deaths RATE] [--loss RATE] [--policy static|repair]
+//!              [--battery JOULES] [--trace out.jsonl]
 //! mdg render   --bundle bundle.json --out figure.svg [--edges]
 //! mdg stats    --n 200 --side 200 --range 30 [--seed 42]
 //! ```
@@ -46,6 +49,7 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(&flags),
         "fleet" => cmd_fleet(&flags),
         "simulate" => cmd_simulate(&flags),
+        "runtime" => cmd_runtime(&flags),
         "render" => cmd_render(&flags),
         "stats" => cmd_stats(&flags),
         "export-ilp" => cmd_export_ilp(&flags),
@@ -68,6 +72,8 @@ const USAGE: &str = "usage:
   mdg plan     --n N --side METERS --range METERS [--seed S] [--cap K] [--greedy] [--out bundle.json]
   mdg fleet    --bundle bundle.json (--k K | --deadline SECS) [--speed M/S] [--upload SECS] [--out fleet.json]
   mdg simulate --bundle bundle.json [--speed M/S] [--upload SECS] [--battery JOULES]
+  mdg runtime  --n N --side METERS --range METERS [--seed S] [--rounds R] [--deaths RATE]
+               [--loss RATE] [--policy static|repair] [--battery JOULES] [--trace out.jsonl]
   mdg render   --bundle bundle.json --out figure.svg [--edges]
   mdg stats    --n N --side METERS --range METERS [--seed S]
   mdg export-ilp --n N --side METERS --range METERS [--seed S] --out model.lp";
@@ -250,6 +256,97 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
         );
         println!("  fairness : {:.3} (Jain)", round.ledger.fairness());
     }
+    Ok(())
+}
+
+fn cmd_runtime(flags: &Flags) -> Result<(), String> {
+    let n: usize = req(flags, "n")?;
+    let side: f64 = req(flags, "side")?;
+    let range: f64 = req(flags, "range")?;
+    let seed: u64 = opt(flags, "seed", 42)?;
+    let rounds: u64 = opt(flags, "rounds", 20)?;
+    let deaths: f64 = opt(flags, "deaths", 0.1)?;
+    if !(0.0..=1.0).contains(&deaths) {
+        return Err(format!("--deaths must be in [0, 1], got {deaths}"));
+    }
+    let loss: f64 = opt(flags, "loss", 0.05)?;
+    if !(0.0..=1.0).contains(&loss) {
+        return Err(format!("--loss must be in [0, 1], got {loss}"));
+    }
+    let policy = match flags.get("policy").map(String::as_str) {
+        None | Some("repair") => RepairPolicy::Repair,
+        Some("static") => RepairPolicy::Static,
+        Some(other) => return Err(format!("unknown policy `{other}` (static|repair)")),
+    };
+
+    let network = Network::build(DeploymentConfig::uniform(n, side).generate(seed), range);
+    let plan = ShdgPlanner::new()
+        .plan(&network)
+        .map_err(|e| e.to_string())?;
+    // Deaths spread over the first ~60% of the run, so repair has rounds
+    // left in which to recover.
+    let horizon = plan.collection_time(1.0, 0.5) * rounds as f64 * 0.6;
+    let cfg = RuntimeConfig {
+        faults: FaultConfig {
+            seed,
+            death_rate: deaths,
+            death_horizon_secs: horizon,
+            loss_rate: loss,
+            ..FaultConfig::default()
+        },
+        policy,
+        max_rounds: rounds,
+        battery_j: flags
+            .get("battery")
+            .map(|b| b.parse().map_err(|_| "invalid value for --battery"))
+            .transpose()?,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = GatheringRuntime::new(network, plan, cfg);
+    let report = if let Some(path) = flags.get("trace") {
+        let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let mut trace = TraceWriter::new(std::io::BufWriter::new(file));
+        let report = rt
+            .run_traced(&mut trace)
+            .map_err(|e| format!("trace write failed: {e}"))?;
+        trace.into_inner().map_err(|e| e.to_string())?;
+        println!("trace    : {path} ({} rounds)", report.rounds);
+        report
+    } else {
+        rt.run()
+    };
+
+    println!(
+        "runtime  : {n} sensors, {rounds} rounds, {deaths:.0}% deaths, {loss:.0}% loss, {policy:?}",
+        deaths = deaths * 100.0,
+        loss = loss * 100.0
+    );
+    println!(
+        "  delivery     : {}/{} packets ({:.1}%)",
+        report.delivered,
+        report.expected,
+        report.delivery_ratio() * 100.0
+    );
+    println!(
+        "  orphan time  : {:.0} sensor-seconds over {} sensor-rounds",
+        report.orphan_secs, report.orphan_sensor_rounds
+    );
+    println!(
+        "  repairs      : {} ({} full re-plans, {} stops removed, {} added, {} µs wall)",
+        report.repairs,
+        report.full_replans,
+        report.stops_removed,
+        report.stops_added,
+        report.repair_wall_micros
+    );
+    println!(
+        "  deaths       : {} by fault, {} by battery; {} sensors alive after {:.0} s",
+        report.fault_deaths, report.energy_deaths, report.final_alive, report.elapsed_secs
+    );
+    println!(
+        "  retries/drops: {} / {}; final tour {:.1} m",
+        report.retries, report.drops, report.final_tour_length
+    );
     Ok(())
 }
 

@@ -40,6 +40,7 @@
 //! | [`core`] | `mdg-core` | **the SHDG planner**, exact solver, fleet planner |
 //! | [`sim`] | `mdg-sim` | discrete-event simulator, lifetime studies |
 //! | [`baselines`] | `mdg-baselines` | visit-all, multi-hop routing, CME, direct |
+//! | [`runtime`] | `mdg-runtime` | online re-planning: fault injection, plan repair, traces |
 
 pub mod render;
 
@@ -49,6 +50,7 @@ pub use mdg_cover as cover;
 pub use mdg_energy as energy;
 pub use mdg_geom as geom;
 pub use mdg_net as net;
+pub use mdg_runtime as runtime;
 pub use mdg_sim as sim;
 pub use mdg_tour as tour;
 
@@ -62,6 +64,9 @@ pub mod prelude {
     pub use mdg_energy::RadioModel;
     pub use mdg_geom::Point;
     pub use mdg_net::{Deployment, DeploymentConfig, Network, SinkPlacement, Topology};
+    pub use mdg_runtime::{
+        FaultConfig, GatheringRuntime, RepairPolicy, RuntimeConfig, TraceWriter,
+    };
     pub use mdg_sim::{
         scenario_from_plan, simulate_lifetime, MobileGatheringSim, MultihopRoutingSim, SimConfig,
     };

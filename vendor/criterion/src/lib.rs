@@ -1,0 +1,244 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the Criterion API the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`)
+//! with a simple measurement loop: a short warmup, then timed batches,
+//! reporting mean and best ns/iter to stdout. No statistical analysis,
+//! HTML reports, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Top-level bench driver.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(600),
+            warm_up_time: Duration::from_millis(150),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { c: self, name }
+    }
+
+    /// Benches a single function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(self, &id.label(), &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent driver's settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.c.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        run_bench(self.c, &label, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        run_bench(self.c, &label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark (optionally parameterized).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] runs the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, label: &str, f: &mut F) {
+    // Warmup: grow the iteration count until the warmup budget is spent.
+    let mut iters: u64 = 1;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if warm_start.elapsed() >= c.warm_up_time {
+            break;
+        }
+        iters = (iters * 2).min(1 << 30);
+    }
+    // Measurement: repeated batches at the settled iteration count.
+    let mut best = f64::INFINITY;
+    let mut total_ns = 0.0;
+    let mut total_iters = 0u64;
+    let measure_start = Instant::now();
+    let mut batches = 0u32;
+    while batches < 3 || (measure_start.elapsed() < c.measurement_time && batches < 100) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64;
+        best = best.min(ns / iters as f64);
+        total_ns += ns;
+        total_iters += iters;
+        batches += 1;
+    }
+    let mean = total_ns / total_iters as f64;
+    println!(
+        "bench {label:<50} mean {} best {}",
+        fmt_ns(mean),
+        fmt_ns(best)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:8.3} s ", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:8.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:8.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:8.1} ns")
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the workload.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
