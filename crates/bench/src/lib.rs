@@ -14,6 +14,7 @@ pub mod faults;
 pub mod figures;
 pub mod params;
 pub mod runner;
+pub mod scale;
 pub mod schemes;
 pub mod table;
 
@@ -23,7 +24,7 @@ pub use table::Table;
 /// All experiment ids, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "e1", "t1", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "a1",
-    "a2", "a3", "faults",
+    "a2", "a3", "faults", "scale",
 ];
 
 /// Runs one experiment by id.
@@ -47,6 +48,7 @@ pub fn run_experiment(id: &str, params: &Params) -> Option<Table> {
         "a2" => Some(figures::a2(params)),
         "a3" => Some(figures::a3(params)),
         "faults" => Some(faults::faults(params)),
+        "scale" => Some(scale::scale(params)),
         _ => None,
     }
 }

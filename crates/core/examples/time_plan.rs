@@ -1,0 +1,32 @@
+//! Times planning alone (no I/O) on one seeded field:
+//! `time_plan [n] [reps] [side]` (side defaults to `sqrt(n) * 10`).
+
+use mdg_core::ShdgPlanner;
+use mdg_net::{DeploymentConfig, Network};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
+    let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let side: f64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or((n as f64).sqrt() * 10.0);
+    let net = Network::build(DeploymentConfig::uniform(n, side).generate(42), 30.0);
+    let mut best = f64::INFINITY;
+    let mut plan = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let p = ShdgPlanner::new().plan(&net).unwrap();
+        best = best.min(t.elapsed().as_secs_f64());
+        plan = Some(p);
+    }
+    let p = plan.unwrap();
+    println!(
+        "n={n} plan_ms={:.2} pps={} tour={:.4}",
+        best * 1e3,
+        p.n_polling_points(),
+        p.tour_length
+    );
+}

@@ -49,4 +49,6 @@ pub use metrics::PlanMetrics;
 pub use mutate::UNASSIGNED;
 pub use plan::{GatheringPlan, PollingPoint};
 pub use planner::{plan_default, CandidateMode, CoveringStrategy, PlannerConfig, ShdgPlanner};
-pub use tour_aware::{tour_aware_cover, TourAwareConfig, TourAwareCover};
+pub use tour_aware::{
+    tour_aware_cover, tour_aware_cover_reference, TourAwareConfig, TourAwareCover,
+};

@@ -238,6 +238,12 @@ impl ShdgPlanner {
     /// Plans a polished closed tour over `sink` + the selected candidates.
     /// Returns tour positions (sink first) and the candidate ids in tour
     /// order.
+    ///
+    /// Up to [`DENSE_TOUR_LIMIT`] stops this runs cheapest insertion plus
+    /// the dense 2-opt/Or-opt polish over a precomputed cost matrix;
+    /// beyond it the matrix (`O(stops²)` memory) and the quadratic dense
+    /// sweeps give way to on-the-fly Euclidean costs and neighbor-list
+    /// local search, which is how 100k-sensor fields stay plannable.
     fn tour_over(
         &self,
         inst: &CoverageInstance,
@@ -245,23 +251,45 @@ impl ShdgPlanner {
         selected: &[usize],
         improve_passes: usize,
     ) -> (Vec<Point>, Vec<usize>) {
+        /// Stop count (including the sink) above which the planner
+        /// switches to the sparse tour pipeline.
+        const DENSE_TOUR_LIMIT: usize = 512;
         let mut pts = Vec::with_capacity(selected.len() + 1);
         pts.push(sink);
         pts.extend(selected.iter().map(|&c| inst.candidates[c].pos));
-        let cost = MatrixCost::from_points(&pts);
-        let mut tour = mdg_tour::cheapest_insertion(&cost);
-        if improve_passes > 0 {
-            tour = improve(
-                &cost,
-                tour,
-                &ImproveConfig {
-                    max_passes: improve_passes,
-                    ..ImproveConfig::default()
-                },
-            );
+        let tour = if pts.len() <= DENSE_TOUR_LIMIT {
+            let cost = MatrixCost::from_points(&pts);
+            let tour = mdg_tour::cheapest_insertion(&cost);
+            if improve_passes > 0 {
+                improve(
+                    &cost,
+                    tour,
+                    &ImproveConfig {
+                        max_passes: improve_passes,
+                        ..ImproveConfig::default()
+                    },
+                )
+            } else {
+                tour.normalized()
+            }
         } else {
-            tour = tour.normalized();
-        }
+            let cost = mdg_tour::EuclideanCost::new(&pts);
+            let tour = mdg_tour::cheapest_insertion(&cost);
+            if improve_passes > 0 {
+                let nl = mdg_tour::NeighborLists::build(&pts, 10);
+                mdg_tour::improve_neighbors(
+                    &pts,
+                    tour,
+                    &ImproveConfig {
+                        max_passes: improve_passes,
+                        ..ImproveConfig::default()
+                    },
+                    &nl,
+                )
+            } else {
+                tour.normalized()
+            }
+        };
         let order = tour.order();
         debug_assert_eq!(order[0], 0, "normalized tours lead with the depot");
         let tour_pts: Vec<Point> = order.iter().map(|&i| pts[i]).collect();

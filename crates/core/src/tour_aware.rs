@@ -70,9 +70,211 @@ fn insertion_cost(tour: &[Point], p: Point) -> (usize, f64) {
     (best_pos, best)
 }
 
+/// Sentinel node id for the sink in the incremental tour bookkeeping.
+const SINK: usize = usize::MAX;
+
 /// Runs tour-aware greedy covering. Returns `None` if the instance is
 /// infeasible.
+///
+/// Incremental implementation of the same selection rule as
+/// [`tour_aware_cover_reference`] (the original full-rescan version, kept
+/// as the executable specification):
+///
+/// * **Gains** are maintained through an inverted index (target → covering
+///   candidates): selecting a candidate decrements the gain of every
+///   candidate sharing one of its newly covered targets, instead of
+///   recounting every candidate's bitset each step.
+/// * **Insertion costs** are cached per candidate as `(edge, delta)`,
+///   keyed by the tour node the edge starts at. Inserting a point splits
+///   exactly one tour edge: candidates cached on that edge are rescanned
+///   in full, all others just probe the two new edges (their cached
+///   minimum over surviving edges stays valid).
+///
+/// Both caches reproduce the reference's arithmetic bit-for-bit, so the
+/// selections — and the greedy insertion tour — come out identical. The
+/// only divergence window is a candidate whose cheapest insertion delta is
+/// *exactly* tied (to the last bit) across distinct tour edges, where the
+/// reference keeps the earliest tour position and the cache may keep the
+/// edge it found first; non-degenerate geometry never produces such ties.
 pub fn tour_aware_cover(
+    inst: &CoverageInstance,
+    sink: Point,
+    cfg: &TourAwareConfig,
+) -> Option<TourAwareCover> {
+    let n = inst.n_targets();
+    let n_cands = inst.n_candidates();
+    let mut covered = BitSet::new(n);
+    let mut selected = Vec::new();
+    let mut tour_pts: Vec<Point> = vec![sink];
+    let mut tour_cands: Vec<usize> = Vec::new(); // parallel to tour_pts[1..]
+    let mut tour_nodes: Vec<usize> = vec![SINK]; // candidate ids, parallel to tour_pts
+    let mut remaining = n;
+
+    // Inverted index in CSR form: candidates covering each target.
+    let mut inv_starts = vec![0u32; n + 1];
+    for cand in &inst.candidates {
+        for t in cand.covers.iter_ones() {
+            inv_starts[t + 1] += 1;
+        }
+    }
+    for t in 0..n {
+        inv_starts[t + 1] += inv_starts[t];
+    }
+    let mut inv: Vec<u32> = vec![0; inv_starts[n] as usize];
+    let mut cursor = inv_starts.clone();
+    for (c, cand) in inst.candidates.iter().enumerate() {
+        for t in cand.covers.iter_ones() {
+            inv[cursor[t] as usize] = c as u32;
+            cursor[t] += 1;
+        }
+    }
+
+    let mut gain: Vec<usize> = inst.candidates.iter().map(|c| c.covers.count()).collect();
+    // Cheapest-insertion cache, valid while the tour has ≥ 2 points: the
+    // delta and the tour node (SINK or candidate id) its edge starts at.
+    let mut ins_cache: Vec<f64> = vec![f64::INFINITY; n_cands];
+    let mut after_cache: Vec<usize> = vec![SINK; n_cands];
+    let point_of = |id: usize, inst: &CoverageInstance| -> Point {
+        if id == SINK {
+            sink
+        } else {
+            inst.candidates[id].pos
+        }
+    };
+    // Position-order rescan mirroring `insertion_cost`: strict `<`, so the
+    // earliest tour position wins ties, exactly as the reference scans.
+    let rescan = |p: Point, tour_pts: &[Point], tour_nodes: &[usize]| -> (f64, usize) {
+        let mut best = f64::INFINITY;
+        let mut after = SINK;
+        for i in 0..tour_pts.len() {
+            let a = tour_pts[i];
+            let b = tour_pts[(i + 1) % tour_pts.len()];
+            let delta = a.dist(p) + p.dist(b) - a.dist(b);
+            if delta < best {
+                best = delta;
+                after = tour_nodes[i];
+            }
+        }
+        (best, after)
+    };
+
+    while remaining > 0 {
+        let single = tour_pts.len() == 1;
+        let mut best_cand = usize::MAX;
+        let mut best_score = f64::NEG_INFINITY;
+        let mut best_gain = 0usize;
+        let mut best_ins = 0.0f64;
+        for c in 0..n_cands {
+            let g = gain[c];
+            if g == 0 {
+                continue;
+            }
+            let ins = if single {
+                2.0 * sink.dist(inst.candidates[c].pos)
+            } else {
+                ins_cache[c]
+            };
+            let denom = cfg.epsilon + cfg.insertion_weight * ins;
+            let score = g as f64 / denom.max(f64::MIN_POSITIVE);
+            let better = score > best_score
+                || (score == best_score && g > best_gain)
+                || (score == best_score && g == best_gain && ins < best_ins);
+            if better {
+                best_score = score;
+                best_cand = c;
+                best_gain = g;
+                best_ins = ins;
+            }
+        }
+        if best_cand == usize::MAX {
+            return None;
+        }
+        let w = best_cand;
+        let w_pt = inst.candidates[w].pos;
+
+        // Update gains through the inverted index before marking covered.
+        for t in inst.candidates[w].covers.iter_ones() {
+            if !covered.get(t) {
+                for &c2 in &inv[inv_starts[t] as usize..inv_starts[t + 1] as usize] {
+                    gain[c2 as usize] -= 1;
+                }
+            }
+        }
+        covered.union_with(&inst.candidates[w].covers);
+        selected.push(w);
+        remaining = n - covered.count();
+
+        // Splice the winner into the tour after its cached edge start.
+        let after = if single { SINK } else { after_cache[w] };
+        let pos = tour_nodes
+            .iter()
+            .position(|&id| id == after)
+            .expect("cached edge start is on the tour")
+            + 1;
+        tour_pts.insert(pos, w_pt);
+        tour_cands.insert(pos - 1, w);
+        tour_nodes.insert(pos, w);
+
+        if remaining == 0 {
+            break;
+        }
+        if single {
+            // 1 → 2 transition: both edges of the two-point tour have
+            // bitwise-equal deltas, so the reference's strict `<` keeps
+            // position 0 — the edge leaving the sink.
+            for c in 0..n_cands {
+                if gain[c] == 0 {
+                    continue;
+                }
+                let p = inst.candidates[c].pos;
+                ins_cache[c] = sink.dist(p) + p.dist(w_pt) - sink.dist(w_pt);
+                after_cache[c] = SINK;
+            }
+        } else {
+            // Edge (after, b) was split into (after, w) and (w, b).
+            // Cache invariant: `ins_cache[c]` is the true minimum over all
+            // tour edges, so if the split edge held a candidate's unique
+            // minimum its anchor necessarily pointed there (rescanned
+            // above); any tied or worse surviving edge keeps the cached
+            // value valid, and the two probes below cover the new edges.
+            let a_pt = point_of(after, inst);
+            let b = tour_nodes[(pos + 1) % tour_nodes.len()];
+            let b_pt = point_of(b, inst);
+            for c in 0..n_cands {
+                if gain[c] == 0 {
+                    continue;
+                }
+                if after_cache[c] == after {
+                    let (best, anchor) = rescan(inst.candidates[c].pos, &tour_pts, &tour_nodes);
+                    ins_cache[c] = best;
+                    after_cache[c] = anchor;
+                } else {
+                    let p = inst.candidates[c].pos;
+                    let d1 = a_pt.dist(p) + p.dist(w_pt) - a_pt.dist(w_pt);
+                    if d1 < ins_cache[c] {
+                        ins_cache[c] = d1;
+                        after_cache[c] = after;
+                    }
+                    let d2 = w_pt.dist(p) + p.dist(b_pt) - w_pt.dist(b_pt);
+                    if d2 < ins_cache[c] {
+                        ins_cache[c] = d2;
+                        after_cache[c] = w;
+                    }
+                }
+            }
+        }
+    }
+    Some(TourAwareCover {
+        selected,
+        tour_candidates: tour_cands,
+    })
+}
+
+/// The original full-rescan tour-aware covering: every step recounts every
+/// candidate's gain and rescans the whole tour for its cheapest insertion
+/// (`O(steps · candidates · (targets/64 + tour))`). Kept as the executable
+/// specification for [`tour_aware_cover`] and the equivalence suite.
+pub fn tour_aware_cover_reference(
     inst: &CoverageInstance,
     sink: Point,
     cfg: &TourAwareConfig,
@@ -211,6 +413,37 @@ mod tests {
         // Same number of polling points (selection order may differ only
         // on ties).
         assert_eq!(blind.selected.len(), greedy.len());
+    }
+
+    #[test]
+    fn incremental_matches_reference_on_random_fields() {
+        use rand::{Rng, SeedableRng};
+        for seed in 0..20u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(20..120);
+            let side = 150.0;
+            let sensors: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+                .collect();
+            let inst = CoverageInstance::sensor_sites(&sensors, rng.gen_range(15.0..40.0));
+            let sink = Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+            for cfg in [
+                TourAwareConfig::default(),
+                TourAwareConfig {
+                    insertion_weight: 0.3,
+                    epsilon: 0.5,
+                },
+                TourAwareConfig {
+                    insertion_weight: 0.0,
+                    epsilon: 1.0,
+                },
+            ] {
+                let fast = tour_aware_cover(&inst, sink, &cfg).unwrap();
+                let slow = tour_aware_cover_reference(&inst, sink, &cfg).unwrap();
+                assert_eq!(fast.selected, slow.selected, "seed {seed}");
+                assert_eq!(fast.tour_candidates, slow.tour_candidates, "seed {seed}");
+            }
+        }
     }
 
     #[test]

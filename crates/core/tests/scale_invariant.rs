@@ -1,0 +1,41 @@
+//! Large-field invariant check: plans produced through the fast paths
+//! (lazy-greedy cover, grid-backed queries, sparse neighbor-list tour
+//! polish) must still satisfy the single-hop coverage invariant — every
+//! sensor within transmission range of its assigned polling point, every
+//! polling point's `covered` list consistent, tour length self-consistent.
+//!
+//! Release builds run the full `scale`-sized 20 000-sensor field; debug
+//! builds (the default `cargo test`) use a 2 000-sensor field so the suite
+//! stays fast without optimizations.
+
+use mdg_core::ShdgPlanner;
+use mdg_net::{DeploymentConfig, Network};
+
+#[cfg(not(debug_assertions))]
+const N: usize = 20_000;
+#[cfg(debug_assertions)]
+const N: usize = 2_000;
+
+#[test]
+fn scale_sized_plan_satisfies_single_hop_coverage() {
+    let range = 30.0;
+    let side = (N as f64).sqrt() * 10.0;
+    let net = Network::build(DeploymentConfig::uniform(N, side).generate(42), range);
+    let plan = ShdgPlanner::new().plan(&net).expect("field is feasible");
+
+    // `validate` checks the full invariant: complete assignment, every
+    // upload within `range`, covered-lists consistent, tour length equal
+    // to the recomputed closed tour.
+    plan.validate(&net.deployment.sensors, range)
+        .unwrap_or_else(|e| panic!("n = {N}: invariant violated: {e}"));
+
+    assert!(plan.n_polling_points() >= 1);
+    assert!(
+        plan.n_polling_points() < N,
+        "covering must compress: {} polling points for {N} sensors",
+        plan.n_polling_points()
+    );
+    // Tour starts and ends at the sink.
+    let tour = plan.tour_positions();
+    assert_eq!(tour.first(), Some(&net.deployment.sink));
+}

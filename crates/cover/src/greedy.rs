@@ -1,7 +1,135 @@
 //! Greedy maximum-coverage polling-point selection.
+//!
+//! Two implementations of the same selection rule live here:
+//!
+//! * [`greedy_cover`] / [`greedy_cover_restricted`] — **lazy-greedy**
+//!   (submodular) selection backed by a max-heap of stale marginal gains.
+//!   Because coverage gain is submodular (a candidate's gain never grows as
+//!   the covered set grows), a heap entry's recorded gain is an upper bound
+//!   on its true gain; entries are re-evaluated only when they surface at
+//!   the top of the heap. This is the classic Minoux accelerated greedy:
+//!   `O(candidates · log candidates)` heap traffic plus a handful of gain
+//!   re-evaluations per selection, instead of a full candidate rescan per
+//!   selection.
+//! * [`greedy_cover_reference`] / [`greedy_cover_restricted_reference`] —
+//!   the original full-rescan implementations, retained as the executable
+//!   specification. The equivalence suite in `tests/equivalence.rs` checks
+//!   that the lazy versions reproduce their selection order **exactly**,
+//!   tie-breaker included.
+//!
+//! The tie-breaking contract (shared by both): select the candidate with
+//! the largest marginal gain; among equal gains the smallest
+//! `tie_break(candidate)` wins; among equal `(gain, tie)` the smallest
+//! candidate index wins. `tie_break` must be a pure function of the
+//! candidate index for the duration of the call (both callers in this
+//! workspace pass closures over immutable data); the lazy version memoizes
+//! it and only evaluates it for candidates that are max-gain contenders,
+//! which also makes expensive tie-breakers (e.g. tour-insertion probes)
+//! cheap.
 
 use crate::bitset::BitSet;
 use crate::instance::CoverageInstance;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A heap entry: a candidate and its (possibly stale) marginal gain.
+/// Ordered so the max-heap pops the largest gain first; equal gains pop in
+/// ascending candidate order for determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GainEntry {
+    gain: usize,
+    cand: usize,
+}
+
+impl Ord for GainEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .cmp(&other.gain)
+            .then_with(|| other.cand.cmp(&self.cand))
+    }
+}
+
+impl PartialOrd for GainEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Normalizes a tie value so `-0.0` and `0.0` compare equal under
+/// `total_cmp`, matching the reference's `<` semantics.
+#[inline]
+fn norm_tie(t: f64) -> f64 {
+    if t == 0.0 {
+        0.0
+    } else {
+        t
+    }
+}
+
+/// One lazy-greedy selection step. Pops heap entries, re-evaluating stale
+/// gains, until the set of *verified* max-gain contenders is complete; then
+/// picks the contender minimizing `(tie, index)` and pushes the rest back.
+///
+/// Returns `None` when no candidate has positive gain (uncovered targets
+/// remain but nothing covers them).
+fn lazy_select<F>(
+    heap: &mut BinaryHeap<GainEntry>,
+    covered: &BitSet,
+    inst: &CoverageInstance,
+    ties: &mut [Option<f64>],
+    tie_break: &F,
+) -> Option<(usize, usize)>
+where
+    F: Fn(usize) -> f64,
+{
+    let mut contenders: Vec<usize> = Vec::new();
+    let mut gmax = 0usize;
+    while let Some(&top) = heap.peek() {
+        if !contenders.is_empty() && top.gain < gmax {
+            break;
+        }
+        heap.pop();
+        let gain = inst.candidates[top.cand].covers.count_and_not(covered);
+        if gain == 0 {
+            continue; // Fully covered already; drop the candidate for good.
+        }
+        if gain == top.gain {
+            // Verified: the recorded gain is current. Since it topped the
+            // heap, no other candidate's true gain can exceed it.
+            gmax = gain;
+            contenders.push(top.cand);
+        } else {
+            debug_assert!(gain < top.gain, "coverage gain is submodular");
+            heap.push(GainEntry {
+                gain,
+                cand: top.cand,
+            });
+        }
+    }
+    let mut iter = contenders.iter().copied();
+    let mut best = iter.next()?;
+    let mut best_tie = norm_tie(*ties[best].get_or_insert_with(|| tie_break(best)));
+    for c in iter {
+        let t = norm_tie(*ties[c].get_or_insert_with(|| tie_break(c)));
+        // Contenders were pushed in heap-pop order (ascending candidate
+        // index among equal gains is NOT guaranteed across re-pushes), so
+        // compare on (tie, index) explicitly.
+        if t.total_cmp(&best_tie) == Ordering::Less
+            || (t.total_cmp(&best_tie) == Ordering::Equal && c < best)
+        {
+            best = c;
+            best_tie = t;
+        }
+    }
+    // Losers keep their verified gain and go back on the heap.
+    for &c in contenders.iter().filter(|&&c| c != best) {
+        heap.push(GainEntry {
+            gain: gmax,
+            cand: c,
+        });
+    }
+    Some((best, gmax))
+}
 
 /// Greedy set cover: repeatedly select the candidate covering the most
 /// still-uncovered targets. Ties are broken by the *smallest* value of
@@ -11,6 +139,11 @@ use crate::instance::CoverageInstance;
 ///
 /// Returns the selected candidate indices in selection order, or `None` if
 /// the instance is infeasible (some target uncovered by every candidate).
+///
+/// This is the lazy-greedy (accelerated) implementation; it returns the
+/// exact same selection sequence as [`greedy_cover_reference`] for any
+/// pure, non-`NaN` tie-breaker, at a fraction of the cost on large
+/// instances.
 ///
 /// The classic `ln n + 1` approximation guarantee for minimum set cover
 /// applies regardless of the tie-breaker.
@@ -27,6 +160,104 @@ use crate::instance::CoverageInstance;
 /// assert!(inst.is_cover(&cover));
 /// ```
 pub fn greedy_cover<F>(inst: &CoverageInstance, tie_break: F) -> Option<Vec<usize>>
+where
+    F: Fn(usize) -> f64,
+{
+    let n = inst.n_targets();
+    let mut covered = BitSet::new(n);
+    let mut selected = Vec::new();
+    let mut remaining = n;
+    let mut ties: Vec<Option<f64>> = vec![None; inst.n_candidates()];
+    let mut heap: BinaryHeap<GainEntry> = inst
+        .candidates
+        .iter()
+        .enumerate()
+        .map(|(c, cand)| GainEntry {
+            gain: cand.covers.count(),
+            cand: c,
+        })
+        .collect();
+
+    while remaining > 0 {
+        let (best, _) = lazy_select(&mut heap, &covered, inst, &mut ties, &tie_break)?;
+        covered.union_with(&inst.candidates[best].covers);
+        selected.push(best);
+        remaining = n - covered.count();
+    }
+    Some(selected)
+}
+
+/// Greedy cover of a **subset** of targets using a **subset** of
+/// candidates — the incremental-repair entry point. After node failures,
+/// the runtime re-covers the orphaned sensors (`targets`) using only
+/// candidates anchored at live nodes (`allowed`), leaving the rest of the
+/// plan untouched.
+///
+/// Returns selected candidate indices (into `inst.candidates`, drawn from
+/// `allowed`) in selection order, or `None` if some requested target is
+/// covered by no allowed candidate. Targets outside `targets` are ignored
+/// entirely: they neither need covering nor contribute to gains.
+///
+/// Lazy-greedy; selection-order-identical to
+/// [`greedy_cover_restricted_reference`].
+///
+/// ```
+/// use mdg_cover::{greedy_cover_restricted, CoverageInstance};
+/// use mdg_geom::Point;
+///
+/// let sensors = [Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)];
+/// let inst = CoverageInstance::sensor_sites(&sensors, 12.0);
+/// // Re-cover sensor 0 without using candidate 1 (its anchor died).
+/// let sel = greedy_cover_restricted(&inst, &[0], &[0, 2], |_| 0.0).unwrap();
+/// assert_eq!(sel, vec![0]);
+/// ```
+pub fn greedy_cover_restricted<F>(
+    inst: &CoverageInstance,
+    targets: &[usize],
+    allowed: &[usize],
+    tie_break: F,
+) -> Option<Vec<usize>>
+where
+    F: Fn(usize) -> f64,
+{
+    let n = inst.n_targets();
+    // Treat everything outside `targets` as pre-covered, then run the
+    // standard lazy-greedy loop over the allowed candidates.
+    let wanted = BitSet::from_indices(n, targets);
+    let mut covered = BitSet::new(n);
+    for t in 0..n {
+        if !wanted.get(t) {
+            covered.set(t);
+        }
+    }
+    let mut selected = Vec::new();
+    let mut remaining = wanted.count();
+    let mut ties: Vec<Option<f64>> = vec![None; inst.n_candidates()];
+    let mut heap: BinaryHeap<GainEntry> = allowed
+        .iter()
+        .map(|&c| GainEntry {
+            gain: inst.candidates[c].covers.count_and_not(&covered),
+            cand: c,
+        })
+        .collect();
+
+    while remaining > 0 {
+        let Some((best, gain)) = lazy_select(&mut heap, &covered, inst, &mut ties, &tie_break)
+        else {
+            return None; // Some requested target is unreachable.
+        };
+        covered.union_with(&inst.candidates[best].covers);
+        selected.push(best);
+        remaining -= gain;
+    }
+    Some(selected)
+}
+
+/// Reference full-rescan greedy cover (the original implementation): every
+/// selection step scans all candidates. `O(selections · candidates ·
+/// targets/64)`. Kept as the executable specification that
+/// [`greedy_cover`] is verified against, and for benchmarking the speedup.
+pub fn greedy_cover_reference<F>(inst: &CoverageInstance, tie_break: F) -> Option<Vec<usize>>
 where
     F: Fn(usize) -> f64,
 {
@@ -66,28 +297,9 @@ where
     Some(selected)
 }
 
-/// Greedy cover of a **subset** of targets using a **subset** of
-/// candidates — the incremental-repair entry point. After node failures,
-/// the runtime re-covers the orphaned sensors (`targets`) using only
-/// candidates anchored at live nodes (`allowed`), leaving the rest of the
-/// plan untouched.
-///
-/// Returns selected candidate indices (into `inst.candidates`, drawn from
-/// `allowed`) in selection order, or `None` if some requested target is
-/// covered by no allowed candidate. Targets outside `targets` are ignored
-/// entirely: they neither need covering nor contribute to gains.
-///
-/// ```
-/// use mdg_cover::{greedy_cover_restricted, CoverageInstance};
-/// use mdg_geom::Point;
-///
-/// let sensors = [Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)];
-/// let inst = CoverageInstance::sensor_sites(&sensors, 12.0);
-/// // Re-cover sensor 0 without using candidate 1 (its anchor died).
-/// let sel = greedy_cover_restricted(&inst, &[0], &[0, 2], |_| 0.0).unwrap();
-/// assert_eq!(sel, vec![0]);
-/// ```
-pub fn greedy_cover_restricted<F>(
+/// Reference full-rescan restricted greedy cover; see
+/// [`greedy_cover_reference`].
+pub fn greedy_cover_restricted_reference<F>(
     inst: &CoverageInstance,
     targets: &[usize],
     allowed: &[usize],
@@ -97,8 +309,6 @@ where
     F: Fn(usize) -> f64,
 {
     let n = inst.n_targets();
-    // Treat everything outside `targets` as pre-covered, then run the
-    // standard greedy loop over the allowed candidates.
     let wanted = BitSet::from_indices(n, targets);
     let mut covered = BitSet::new(n);
     for t in 0..n {
@@ -198,6 +408,7 @@ mod tests {
         let inst =
             CoverageInstance::grid_candidates(&sensors, &mdg_geom::Aabb::square(100.0), 50.0, 5.0);
         assert_eq!(greedy_cover(&inst, |_| 0.0), None);
+        assert_eq!(greedy_cover_reference(&inst, |_| 0.0), None);
     }
 
     #[test]
@@ -268,5 +479,34 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), sel.len());
+    }
+
+    #[test]
+    fn lazy_matches_reference_on_lines() {
+        // Dense overlap with many exact gain ties; constant tie-breaker
+        // forces the index tie-path.
+        let sensors = line(&[0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 90.0]);
+        let inst = CoverageInstance::sensor_sites(&sensors, 11.0);
+        for tie in [0.0f64, 1.0] {
+            let lazy = greedy_cover(&inst, |_| tie).unwrap();
+            let slow = greedy_cover_reference(&inst, |_| tie).unwrap();
+            assert_eq!(lazy, slow);
+        }
+        let lazy = greedy_cover(&inst, |c| sensors[c].x).unwrap();
+        let slow = greedy_cover_reference(&inst, |c| sensors[c].x).unwrap();
+        assert_eq!(lazy, slow);
+    }
+
+    #[test]
+    fn negative_zero_tie_matches_reference() {
+        // A -0.0 tie value must compare equal to 0.0, exactly as the
+        // reference's `<` does — the earlier index must win.
+        let sensors = line(&[0.0, 10.0, 30.0, 40.0]);
+        let inst = CoverageInstance::sensor_sites(&sensors, 11.0);
+        let tie = |c: usize| if c >= 2 { -0.0 } else { 0.0 };
+        assert_eq!(
+            greedy_cover(&inst, tie).unwrap(),
+            greedy_cover_reference(&inst, tie).unwrap()
+        );
     }
 }

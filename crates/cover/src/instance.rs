@@ -133,19 +133,50 @@ impl CoverageInstance {
     }
 
     /// Assigns each target to the **nearest** selected candidate that
-    /// covers it. Returns `assignment[t] = index into selected`, or `None`
-    /// if `selected` is not a cover.
+    /// covers it (ties to the lowest index in `selected`). Returns
+    /// `assignment[t] = index into selected`, or `None` if `selected` is
+    /// not a cover.
+    ///
+    /// Large selections are answered through a [`SpatialGrid`] over the
+    /// selected positions — `O(local density)` per target instead of
+    /// `O(selected)` — with a per-target linear fallback that keeps the
+    /// result exact even for hand-built instances whose `covers` bits
+    /// extend beyond geometric range.
     pub fn assign(&self, selected: &[usize]) -> Option<Vec<usize>> {
         let mut assignment = vec![usize::MAX; self.n_targets()];
+        let grid = if selected.len() > 32 {
+            let pts: Vec<Point> = selected.iter().map(|&s| self.candidates[s].pos).collect();
+            Some(SpatialGrid::build(&pts, self.range))
+        } else {
+            None
+        };
         for (t, &tp) in self.targets.iter().enumerate() {
             let mut best = usize::MAX;
             let mut best_d = f64::INFINITY;
-            for (k, &s) in selected.iter().enumerate() {
-                if self.candidates[s].covers.get(t) {
-                    let d = self.candidates[s].pos.dist_sq(tp);
-                    if d < best_d {
-                        best_d = d;
-                        best = k;
+            if let Some(grid) = &grid {
+                // Coverage is the in-range predicate for both constructors,
+                // so the grid visits every covering candidate; min over
+                // (dist², index) reproduces the linear scan's strict-<
+                // tie rule.
+                grid.for_each_within(tp, self.range, |k| {
+                    let k = k as usize;
+                    if self.candidates[selected[k]].covers.get(t) {
+                        let d = self.candidates[selected[k]].pos.dist_sq(tp);
+                        if d < best_d || (d == best_d && k < best) {
+                            best_d = d;
+                            best = k;
+                        }
+                    }
+                });
+            }
+            if best == usize::MAX {
+                for (k, &s) in selected.iter().enumerate() {
+                    if self.candidates[s].covers.get(t) {
+                        let d = self.candidates[s].pos.dist_sq(tp);
+                        if d < best_d {
+                            best_d = d;
+                            best = k;
+                        }
                     }
                 }
             }

@@ -147,6 +147,45 @@ impl SpatialGrid {
         }
     }
 
+    /// Indices of the `k` points nearest to `query`, sorted by ascending
+    /// distance (ties broken by ascending index), excluding `exclude` if
+    /// given (typically the query point's own index). Returns fewer than
+    /// `k` entries only when the grid holds fewer points.
+    ///
+    /// Expands the scan ring geometrically until the `k`-th hit is
+    /// confirmed inside the scanned radius, so the expected cost is
+    /// `O(k + local density)` for uniform fields.
+    pub fn k_nearest(&self, query: Point, k: usize, exclude: Option<u32>) -> Vec<u32> {
+        let available =
+            self.points.len() - usize::from(exclude.is_some() && !self.points.is_empty());
+        let want = k.min(available);
+        if want == 0 {
+            return Vec::new();
+        }
+        let mut radius = self.cell;
+        loop {
+            let mut hits: Vec<(f64, u32)> = Vec::new();
+            self.for_each_within(query, radius, |i| {
+                if exclude != Some(i) {
+                    hits.push((self.points[i as usize].dist_sq(query), i));
+                }
+            });
+            if hits.len() >= want {
+                hits.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                hits.truncate(want);
+                // The k-th hit is only confirmed nearest once it lies inside
+                // the scanned ring: every unscanned point is farther than
+                // `radius`, hence farther than the k-th hit.
+                if hits[want - 1].0.sqrt() <= radius {
+                    return hits.into_iter().map(|(_, i)| i).collect();
+                }
+            }
+            // Doubling terminates: once `radius` exceeds the distance to the
+            // farthest indexed point, all points are hits and confirmed.
+            radius *= 2.0;
+        }
+    }
+
     /// Index of the point nearest to `query`, or `None` if the grid is
     /// empty. Expands the search ring until a hit is confirmed closest.
     pub fn nearest(&self, query: Point) -> Option<u32> {
@@ -263,5 +302,60 @@ mod tests {
     #[should_panic(expected = "cell size")]
     fn zero_cell_panics() {
         SpatialGrid::build(&[Point::ORIGIN], 0.0);
+    }
+
+    fn brute_k_nearest(pts: &[Point], q: Point, k: usize, exclude: Option<u32>) -> Vec<u32> {
+        let mut all: Vec<(f64, u32)> = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| exclude != Some(*i as u32))
+            .map(|(i, p)| (p.dist_sq(q), i as u32))
+            .collect();
+        all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        all.truncate(k);
+        all.into_iter().map(|(_, i)| i).collect()
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force() {
+        // Deterministic pseudo-random scatter (LCG) over a 100 m square.
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+        };
+        let pts: Vec<Point> = (0..80).map(|_| Point::new(next(), next())).collect();
+        let grid = SpatialGrid::build(&pts, 10.0);
+        for qi in [0usize, 7, 33, 79] {
+            for k in [1usize, 3, 8, 80, 200] {
+                let got = grid.k_nearest(pts[qi], k, Some(qi as u32));
+                let want = brute_k_nearest(&pts, pts[qi], k, Some(qi as u32));
+                assert_eq!(got, want, "query {qi} k {k}");
+            }
+        }
+        // Without exclusion the query point itself leads the list.
+        assert_eq!(grid.k_nearest(pts[5], 1, None), vec![5]);
+    }
+
+    #[test]
+    fn k_nearest_far_outside_extent() {
+        let pts = cluster();
+        let grid = SpatialGrid::build(&pts, 3.0);
+        let q = Point::new(-500.0, -500.0);
+        assert_eq!(
+            grid.k_nearest(q, 2, None),
+            brute_k_nearest(&pts, q, 2, None)
+        );
+    }
+
+    #[test]
+    fn k_nearest_empty_and_tiny() {
+        let empty = SpatialGrid::build(&[], 1.0);
+        assert!(empty.k_nearest(Point::ORIGIN, 3, None).is_empty());
+        let single = SpatialGrid::build(&[Point::new(3.0, 4.0)], 2.0);
+        assert_eq!(single.k_nearest(Point::ORIGIN, 5, None), vec![0]);
+        assert!(single.k_nearest(Point::ORIGIN, 5, Some(0)).is_empty());
     }
 }

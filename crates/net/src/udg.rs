@@ -18,11 +18,23 @@ pub fn build_udg(points: &[Point], range: f64) -> Csr {
         range > 0.0 && range.is_finite(),
         "transmission range must be positive"
     );
-    let n = points.len();
-    if n == 0 {
+    if points.is_empty() {
         return Csr::from_edges(0, &[]);
     }
     let grid = SpatialGrid::build(points, range);
+    build_udg_with_grid(points, range, &grid)
+}
+
+/// [`build_udg`] over a prebuilt grid indexing exactly `points` — lets
+/// callers that keep the grid around (e.g. [`Network::build`]) pay for its
+/// construction once.
+pub fn build_udg_with_grid(points: &[Point], range: f64, grid: &SpatialGrid) -> Csr {
+    assert!(
+        range > 0.0 && range.is_finite(),
+        "transmission range must be positive"
+    );
+    debug_assert_eq!(grid.len(), points.len(), "grid must index `points`");
+    let n = points.len();
     let mut edges: Vec<(u32, u32, f64)> = Vec::new();
     for (i, &p) in points.iter().enumerate() {
         grid.for_each_within(p, range, |j| {
@@ -46,13 +58,25 @@ pub struct Network {
     /// Unit-disk graph over sensors *plus the sink* as node
     /// [`Network::sink_node`].
     pub full_graph: Csr,
+    /// Spatial index over the sensor positions, kept for the lifetime of
+    /// the network so point-radius queries
+    /// ([`Network::sensors_within_range_of`]) cost `O(local density)`
+    /// instead of `O(n)` — those queries run once per stop per repair
+    /// round in the online runtime.
+    grid: Option<SpatialGrid>,
 }
 
 impl Network {
     /// Builds the network graphs for `deployment` with transmission range
     /// `range`.
     pub fn build(deployment: Deployment, range: f64) -> Self {
-        let sensor_graph = build_udg(&deployment.sensors, range);
+        let (sensor_graph, grid) = if deployment.sensors.is_empty() {
+            (Csr::from_edges(0, &[]), None)
+        } else {
+            let grid = SpatialGrid::build(&deployment.sensors, range);
+            let graph = build_udg_with_grid(&deployment.sensors, range, &grid);
+            (graph, Some(grid))
+        };
         let mut all: Vec<Point> = deployment.sensors.clone();
         all.push(deployment.sink);
         let full_graph = build_udg(&all, range);
@@ -61,6 +85,7 @@ impl Network {
             range,
             sensor_graph,
             full_graph,
+            grid,
         }
     }
 
@@ -84,16 +109,19 @@ impl Network {
     }
 
     /// Sensors within `range` of an arbitrary point — i.e. the sensors that
-    /// could upload in a single hop to a collector pausing at `p`.
+    /// could upload in a single hop to a collector pausing at `p`. Indices
+    /// are returned in ascending order.
+    ///
+    /// Answered from the stored [`SpatialGrid`]; the grid applies the same
+    /// `dist² ≤ range²` predicate a linear scan would, so the result is
+    /// identical — just `O(local density)` instead of `O(n)`.
     pub fn sensors_within_range_of(&self, p: Point) -> Vec<u32> {
-        let r_sq = self.range * self.range;
-        self.deployment
-            .sensors
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.dist_sq(p) <= r_sq)
-            .map(|(i, _)| i as u32)
-            .collect()
+        let Some(grid) = &self.grid else {
+            return Vec::new();
+        };
+        let mut near = grid.neighbors_within(p, self.range);
+        near.sort_unstable();
+        near
     }
 
     /// Returns `true` if the sensor-only graph is connected (vacuously true
@@ -172,6 +200,27 @@ mod tests {
         assert!(!net.full_graph.has_edge(4, 2));
         assert_eq!(net.position(4), Point::new(5.0, 0.0));
         assert_eq!(net.position(0), Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn sensors_within_range_matches_linear_scan() {
+        // The grid-backed query must reproduce the brute-force predicate
+        // (dist² ≤ range²) exactly, in ascending index order.
+        let d = DeploymentConfig::uniform(200, 250.0).generate(17);
+        let net = Network::build(d, 30.0);
+        let r_sq = net.range * net.range;
+        for probe in 0..40usize {
+            let p = Point::new((probe * 7 % 251) as f64, (probe * 13 % 241) as f64);
+            let brute: Vec<u32> = net
+                .deployment
+                .sensors
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.dist_sq(p) <= r_sq)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(net.sensors_within_range_of(p), brute, "probe {probe}");
+        }
     }
 
     #[test]

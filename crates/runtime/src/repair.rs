@@ -148,26 +148,35 @@ pub fn repair_plan(
     }
 
     // 4a. Adoption: orphans within range of a surviving stop are simply
-    //     reassigned — no tour change at all.
+    //     reassigned — no tour change at all. The surviving stops are
+    //     indexed by a spatial grid so each orphan costs O(local density)
+    //     instead of O(stops); the grid's hits are re-filtered with the
+    //     linear scan's exact predicate and (distance, index) tie rule, so
+    //     the adoption choices are unchanged.
     let mut unadopted = Vec::new();
+    let stop_pts: Vec<_> = plan.polling_points.iter().map(|pp| pp.pos).collect();
+    let stop_grid = mdg_geom::SpatialGrid::build(&stop_pts, net.range);
     for &s in &orphans {
         let sp = net.deployment.sensors[s];
-        let mut best = None;
+        let mut best = usize::MAX;
         let mut best_d = f64::INFINITY;
-        for (k, pp) in plan.polling_points.iter().enumerate() {
+        // Query with an inflated radius, then apply the exact
+        // `d ≤ range + 1e-9` predicate: sqrt-vs-squared rounding right at
+        // the boundary could otherwise flip a borderline hit.
+        stop_grid.for_each_within(sp, net.range + 1e-6, |k| {
             report.ops += 1;
-            let d = sp.dist(pp.pos);
-            if d <= net.range + 1e-9 && d < best_d {
+            let k = k as usize;
+            let d = sp.dist(stop_pts[k]);
+            if d <= net.range + 1e-9 && (d < best_d || (d == best_d && k < best)) {
                 best_d = d;
-                best = Some(k);
+                best = k;
             }
-        }
-        match best {
-            Some(k) => {
-                plan.assign_sensor(s, k);
-                report.adopted += 1;
-            }
-            None => unadopted.push(s),
+        });
+        if best != usize::MAX {
+            plan.assign_sensor(s, best);
+            report.adopted += 1;
+        } else {
+            unadopted.push(s);
         }
     }
 

@@ -99,9 +99,15 @@ impl<E> EventQueue<E> {
     }
 
     /// Pops the next event, advancing the clock to its time.
+    ///
+    /// The clock never moves backwards: [`EventQueue::schedule`] tolerates
+    /// times up to `1e-12` before `now` (float-noise slack), so a popped
+    /// entry can carry a time fractionally in the past. The clamp keeps
+    /// `now()` monotone so a follow-up `schedule_in(0.0, …)` from the
+    /// handler cannot trip the causality assert.
     pub fn pop(&mut self) -> Option<(f64, E)> {
         let entry = self.heap.pop()?;
-        self.now = entry.time;
+        self.now = self.now.max(entry.time);
         Some((entry.time, entry.event))
     }
 }
@@ -163,6 +169,22 @@ mod tests {
             assert!(w[0].0 <= w[1].0);
         }
         assert_eq!(seen.len(), 7, "1..4 plus three 100+ interleavings");
+    }
+
+    #[test]
+    fn clock_never_moves_backwards() {
+        // `schedule` tolerates times up to 1e-12 in the past; popping such
+        // an entry must not rewind the clock, or the handler's own
+        // `schedule_in(0.0, …)` would panic on the causality assert.
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "first");
+        q.pop();
+        q.schedule(1.0 - 1e-13, "slack");
+        let (t, _) = q.pop().unwrap();
+        assert!(t < 1.0, "entry keeps its own (past) timestamp");
+        assert_eq!(q.now(), 1.0, "clock is clamped, not rewound");
+        q.schedule_in(0.0, "immediate"); // must not panic
+        assert_eq!(q.pop().map(|(_, e)| e), Some("immediate"));
     }
 
     #[test]

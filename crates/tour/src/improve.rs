@@ -26,10 +26,17 @@ impl Default for ImproveConfig {
     }
 }
 
-/// One best-improvement 2-opt pass; returns the total gain.
+/// One first-improvement 2-opt pass; returns the total gain.
 ///
 /// A 2-opt move removes edges `(order[i], order[i+1])` and
 /// `(order[j], order[j+1])` and reverses the segment between them.
+///
+/// Moves are scanned in lexicographic `(i, j)` order and the first
+/// improving one is applied immediately; the scan then **continues from
+/// the same `i`** (whose successor edge the reversal just replaced) rather
+/// than restarting the whole pass from `i = 0`. Sweeps repeat until one
+/// full sweep accepts no move, so the result is still a 2-opt local
+/// optimum; the quadratic restart cost per accepted move is gone.
 fn two_opt_pass<C: CostMatrix>(cost: &C, order: &mut [usize], min_gain: f64) -> f64 {
     let n = order.len();
     let mut total_gain = 0.0;
@@ -41,12 +48,14 @@ fn two_opt_pass<C: CostMatrix>(cost: &C, order: &mut [usize], min_gain: f64) -> 
         improved = false;
         for i in 0..n - 1 {
             let a = order[i];
-            let b = order[i + 1];
-            let d_ab = cost.cost(a, b);
-            for j in (i + 2)..n {
+            let mut b = order[i + 1];
+            let mut d_ab = cost.cost(a, b);
+            let mut j = i + 2;
+            while j < n {
                 // Skip the move that would touch the same edge twice (wraps
                 // to i == 0 and j == n-1).
                 if i == 0 && j == n - 1 {
+                    j += 1;
                     continue;
                 }
                 let c = order[j];
@@ -56,11 +65,14 @@ fn two_opt_pass<C: CostMatrix>(cost: &C, order: &mut [usize], min_gain: f64) -> 
                     order[i + 1..=j].reverse();
                     total_gain += gain;
                     improved = true;
-                    break;
+                    // Continue from the same i: the reversal replaced the
+                    // successor edge of `a`, so re-read it and rescan j.
+                    b = order[i + 1];
+                    d_ab = cost.cost(a, b);
+                    j = i + 2;
+                } else {
+                    j += 1;
                 }
-            }
-            if improved {
-                break;
             }
         }
     }

@@ -11,7 +11,10 @@
 //!   greedy edge, cheapest insertion, MST double-tree 2-approximation and
 //!   a Christofides-style MST + greedy-matching construction.
 //! * **Improvement heuristics** ([`improve`]): 2-opt and Or-opt local
-//!   search, composed by [`improve::improve`].
+//!   search, composed by [`improve::improve`]; plus the neighbor-list
+//!   variants ([`neighbors`]) — k-nearest-neighbor candidate moves with
+//!   don't-look bits — that scale the same local search to 10⁵-city
+//!   instances.
 //! * **Exact solvers** ([`exact`]): Held–Karp dynamic programming for up to
 //!   [`exact::HELD_KARP_MAX`] cities (used by the optimality-gap tables in
 //!   place of the paper's CPLEX runs) and a brute-force permutation solver
@@ -35,18 +38,21 @@ pub mod cost;
 pub mod exact;
 pub mod improve;
 pub mod lower_bound;
+pub mod neighbors;
 pub mod splice;
 pub mod split;
 pub mod three_opt;
 pub mod tour;
 
 pub use construct::{
-    cheapest_insertion, christofides_like, greedy_edge, mst_2approx, nearest_neighbor,
+    cheapest_insertion, cheapest_insertion_reference, christofides_like, greedy_edge, mst_2approx,
+    nearest_neighbor,
 };
 pub use cost::{CostMatrix, EuclideanCost, MatrixCost};
 pub use exact::held_karp;
 pub use improve::{improve, or_opt, two_opt, ImproveConfig};
 pub use lower_bound::held_karp_lower_bound;
+pub use neighbors::{improve_neighbors, two_opt_neighbors, NeighborLists};
 pub use splice::{cheapest_insertion_position, splice_point};
 pub use split::{min_collectors_for_bound, split_into_k, SplitTour};
 pub use three_opt::three_opt;

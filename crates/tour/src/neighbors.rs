@@ -1,0 +1,472 @@
+//! Neighbor-list local search: 2-opt and Or-opt restricted to k-nearest-
+//! neighbor candidate moves, with don't-look bits.
+//!
+//! Full 2-opt examines all `O(n²)` edge pairs per sweep, which caps the
+//! planner at a few thousand stops. The standard remedy (Bentley, "Fast
+//! algorithms for geometric traveling salesman problems") is to only try
+//! moves that create an edge to one of a city's `k` nearest neighbors:
+//! since improving 2-opt moves must create at least one edge shorter than
+//! an edge they remove, candidate lists sorted by distance plus the
+//! `d(a,c) ≥ d(a,b)` prune lose almost nothing while cutting the sweep to
+//! `O(n·k)`. Don't-look bits skip cities whose neighborhood has not
+//! changed since they were last scanned, and segment reversals always flip
+//! the shorter arc of the cyclic order, so a single move costs `O(n/2)`
+//! worst case instead of `O(n)`.
+//!
+//! The entry point is [`improve_neighbors`], the large-instance analogue of
+//! [`improve`](crate::improve::improve); [`NeighborLists`] is reusable
+//! across calls on the same point set.
+
+use crate::improve::ImproveConfig;
+use crate::tour::Tour;
+use mdg_geom::{Point, SpatialGrid};
+use std::collections::VecDeque;
+
+/// Per-city k-nearest-neighbor candidate lists, built once from a
+/// [`SpatialGrid`] over the city coordinates and reused by every
+/// neighbor-list pass.
+///
+/// Lists are sorted by ascending distance (ties by index), which the 2-opt
+/// scan relies on for its early-exit prune.
+#[derive(Debug, Clone)]
+pub struct NeighborLists {
+    /// Per-city list length: `min(k, n - 1)`.
+    stride: usize,
+    /// Flattened `n × stride` neighbor indices.
+    flat: Vec<u32>,
+}
+
+impl NeighborLists {
+    /// Builds `k`-nearest-neighbor lists for `points`. The grid cell is
+    /// sized to the mean point spacing so the expected query cost is
+    /// `O(k)` per city.
+    pub fn build(points: &[Point], k: usize) -> Self {
+        let n = points.len();
+        let stride = k.min(n.saturating_sub(1));
+        if stride == 0 {
+            return NeighborLists {
+                stride,
+                flat: Vec::new(),
+            };
+        }
+        let bb = mdg_geom::Aabb::from_points(points).expect("non-empty point set");
+        let area = (bb.width() * bb.height()).max(1e-12);
+        let cell = (area / n as f64).sqrt().max(1e-9);
+        let grid = SpatialGrid::build(points, cell);
+        let mut flat = Vec::with_capacity(n * stride);
+        for (i, &p) in points.iter().enumerate() {
+            let knn = grid.k_nearest(p, stride, Some(i as u32));
+            debug_assert_eq!(knn.len(), stride);
+            flat.extend_from_slice(&knn);
+        }
+        NeighborLists { stride, flat }
+    }
+
+    /// The candidate list of city `i`, sorted by ascending distance.
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.flat[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Neighbors kept per city.
+    pub fn k(&self) -> usize {
+        self.stride
+    }
+}
+
+/// Reverses the cyclic segment running forward from position `from` to
+/// position `to` (inclusive), flipping whichever arc is shorter — for a
+/// symmetric cost the two choices yield the same cyclic tour.
+fn reverse_cyclic(order: &mut [usize], pos: &mut [u32], from: usize, to: usize) {
+    let n = order.len();
+    let len_fwd = (to + n - from) % n + 1;
+    let (mut i, mut j, len) = if 2 * len_fwd <= n {
+        (from, to, len_fwd)
+    } else {
+        ((to + 1) % n, (from + n - 1) % n, n - len_fwd)
+    };
+    for _ in 0..len / 2 {
+        order.swap(i, j);
+        pos[order[i]] = i as u32;
+        pos[order[j]] = j as u32;
+        i = if i + 1 == n { 0 } else { i + 1 };
+        j = if j == 0 { n - 1 } else { j - 1 };
+    }
+}
+
+/// Queue-driven neighbor-list 2-opt: processes cities off a work queue,
+/// and whenever a move is applied, wakes the four affected cities. Returns
+/// the total gain.
+fn two_opt_neighbors_pass(
+    points: &[Point],
+    nl: &NeighborLists,
+    order: &mut [usize],
+    pos: &mut [u32],
+    min_gain: f64,
+) -> f64 {
+    let n = order.len();
+    let mut total_gain = 0.0;
+    if n < 4 || nl.k() == 0 {
+        return 0.0;
+    }
+    // The queue holds cities with their don't-look bit cleared; a city is
+    // re-examined only after a move touches its tour neighborhood.
+    let mut queue: VecDeque<usize> = order.iter().copied().collect();
+    let mut queued = vec![true; n];
+    while let Some(a) = queue.pop_front() {
+        queued[a] = false;
+        let mut moved = true;
+        while moved {
+            moved = false;
+            // Scan both tour directions: `b` is the successor of `a` in the
+            // chosen orientation, and the move replaces edges (a,b),(c,d)
+            // with (a,c),(b,d) where d succeeds c in the same orientation.
+            for fwd in [true, false] {
+                let pa = pos[a] as usize;
+                let b = if fwd {
+                    order[(pa + 1) % n]
+                } else {
+                    order[(pa + n - 1) % n]
+                };
+                let d_ab = points[a].dist(points[b]);
+                for &cu in nl.neighbors(a) {
+                    let c = cu as usize;
+                    let d_ac = points[a].dist(points[c]);
+                    if d_ac >= d_ab {
+                        // Candidates are sorted by distance: no move rooted
+                        // at `a` further down the list can gain.
+                        break;
+                    }
+                    let pc = pos[c] as usize;
+                    let d = if fwd {
+                        order[(pc + 1) % n]
+                    } else {
+                        order[(pc + n - 1) % n]
+                    };
+                    if c == b || d == a {
+                        continue; // Degenerate: shares an edge with (a,b).
+                    }
+                    let gain = d_ab + points[c].dist(points[d]) - d_ac - points[b].dist(points[d]);
+                    if gain > min_gain {
+                        if fwd {
+                            reverse_cyclic(order, pos, (pa + 1) % n, pc);
+                        } else {
+                            reverse_cyclic(order, pos, pa, (pc + n - 1) % n);
+                        }
+                        total_gain += gain;
+                        for city in [a, b, c, d] {
+                            if !queued[city] {
+                                queued[city] = true;
+                                queue.push_back(city);
+                            }
+                        }
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    break;
+                }
+            }
+        }
+    }
+    total_gain
+}
+
+/// Queue-driven neighbor-list Or-opt: relocates segments of length
+/// `1..=max_segment` (possibly reversed) to an insertion edge adjacent to
+/// a k-nearest neighbor of one of the segment's endpoints. Returns the
+/// total gain.
+fn or_opt_neighbors_pass(
+    points: &[Point],
+    nl: &NeighborLists,
+    order: &mut Vec<usize>,
+    pos: &mut [u32],
+    max_segment: usize,
+    min_gain: f64,
+) -> f64 {
+    let n = order.len();
+    let mut total_gain = 0.0;
+    if n < 4 || nl.k() == 0 {
+        return 0.0;
+    }
+    let max_segment = max_segment.min(n - 2).max(1);
+    let mut queue: VecDeque<usize> = order.iter().copied().collect();
+    let mut queued = vec![true; n];
+    'cities: while let Some(first) = queue.pop_front() {
+        queued[first] = false;
+        for seg_len in 1..=max_segment {
+            let start = pos[first] as usize;
+            // Like the dense pass, skip segments that wrap position 0;
+            // alternation with 2-opt re-exposes them under new rotations.
+            if start + seg_len >= n || start == 0 {
+                continue;
+            }
+            let prev = order[start - 1];
+            let last = order[start + seg_len - 1];
+            let next = order[(start + seg_len) % n];
+            let removal_gain = points[prev].dist(points[first]) + points[last].dist(points[next])
+                - points[prev].dist(points[next]);
+            if removal_gain <= min_gain {
+                continue;
+            }
+            // Insertion anchors: cities whose successor edge we would
+            // split, drawn from the endpoints' candidate lists.
+            let anchors = nl.neighbors(first).iter().chain(nl.neighbors(last).iter());
+            for &eu in anchors {
+                let e = eu as usize;
+                let pe = pos[e] as usize;
+                // The anchor edge must lie outside [prev .. next).
+                if pe + 1 >= start && pe <= start + seg_len {
+                    continue;
+                }
+                let f = order[(pe + 1) % n];
+                let base = points[e].dist(points[f]);
+                let fw = points[e].dist(points[first]) + points[last].dist(points[f]) - base;
+                let rv = points[e].dist(points[last]) + points[first].dist(points[f]) - base;
+                let (ins_cost, reversed) = if fw <= rv { (fw, false) } else { (rv, true) };
+                let gain = removal_gain - ins_cost;
+                if gain > min_gain {
+                    let mut seg: Vec<usize> = order.drain(start..start + seg_len).collect();
+                    if reversed {
+                        seg.reverse();
+                    }
+                    let anchor = order
+                        .iter()
+                        .position(|&c| c == e)
+                        .expect("anchor survives removal");
+                    for (k, c) in seg.into_iter().enumerate() {
+                        order.insert(anchor + 1 + k, c);
+                    }
+                    for (p, &c) in order.iter().enumerate() {
+                        pos[c] = p as u32;
+                    }
+                    total_gain += gain;
+                    for city in [prev, first, last, next, e, f] {
+                        if !queued[city] {
+                            queued[city] = true;
+                            queue.push_back(city);
+                        }
+                    }
+                    // Re-examine this city from scratch.
+                    if !queued[first] {
+                        queued[first] = true;
+                        queue.push_back(first);
+                    }
+                    continue 'cities;
+                }
+            }
+        }
+    }
+    total_gain
+}
+
+/// Neighbor-list 2-opt local search over `points` (city `i` at
+/// `points[i]`): the `O(n·k)`-per-sweep analogue of
+/// [`two_opt`](crate::improve::two_opt). Never lengthens the tour.
+pub fn two_opt_neighbors(points: &[Point], tour: Tour, nl: &NeighborLists, min_gain: f64) -> Tour {
+    let mut order = tour.into_order();
+    let mut pos = vec![0u32; order.len()];
+    for (p, &c) in order.iter().enumerate() {
+        pos[c] = p as u32;
+    }
+    two_opt_neighbors_pass(points, nl, &mut order, &mut pos, min_gain);
+    Tour::from_order_unchecked(order).normalized()
+}
+
+/// Neighbor-list analogue of [`improve`](crate::improve::improve):
+/// alternates candidate-list 2-opt and Or-opt until neither gains (or
+/// `max_passes` is hit). This is the planner's polishing step for large
+/// stop counts, where the dense passes are unaffordable.
+///
+/// ```
+/// use mdg_geom::Point;
+/// use mdg_tour::{improve_neighbors, EuclideanCost, ImproveConfig, NeighborLists, Tour};
+///
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(1.0, 1.0),
+///     Point::new(1.0, 0.0),
+///     Point::new(0.0, 1.0),
+/// ];
+/// let nl = NeighborLists::build(&pts, 3);
+/// let t = improve_neighbors(&pts, Tour::new(vec![0, 1, 2, 3]), &ImproveConfig::default(), &nl);
+/// let cost = EuclideanCost::new(&pts);
+/// assert!((t.length(&cost) - 4.0).abs() < 1e-9, "uncrossed square is optimal");
+/// ```
+pub fn improve_neighbors(
+    points: &[Point],
+    tour: Tour,
+    cfg: &ImproveConfig,
+    nl: &NeighborLists,
+) -> Tour {
+    let mut order = tour.into_order();
+    let n = order.len();
+    let mut pos = vec![0u32; n];
+    for (p, &c) in order.iter().enumerate() {
+        pos[c] = p as u32;
+    }
+    for _ in 0..cfg.max_passes {
+        let g1 = two_opt_neighbors_pass(points, nl, &mut order, &mut pos, cfg.min_gain);
+        let g2 = or_opt_neighbors_pass(
+            points,
+            nl,
+            &mut order,
+            &mut pos,
+            cfg.max_segment,
+            cfg.min_gain,
+        );
+        if g1 + g2 <= cfg.min_gain {
+            break;
+        }
+    }
+    Tour::from_order_unchecked(order).normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::nearest_neighbor;
+    use crate::cost::EuclideanCost;
+    use crate::improve::{improve, two_opt};
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect()
+    }
+
+    #[test]
+    fn lists_are_sorted_and_exclude_self() {
+        let pts = random_points(50, 1);
+        let nl = NeighborLists::build(&pts, 8);
+        for (i, &p) in pts.iter().enumerate() {
+            let ns = nl.neighbors(i);
+            assert_eq!(ns.len(), 8);
+            assert!(!ns.contains(&(i as u32)));
+            for w in ns.windows(2) {
+                assert!(
+                    pts[w[0] as usize].dist(p) <= pts[w[1] as usize].dist(p),
+                    "list must be sorted by distance"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uncrosses_square() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let nl = NeighborLists::build(&pts, 3);
+        let fixed = two_opt_neighbors(&pts, Tour::new(vec![0, 1, 2, 3]), &nl, 1e-9);
+        let cost = EuclideanCost::new(&pts);
+        assert!((fixed.length(&cost) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_lengthens_and_preserves_permutation() {
+        for seed in 0..10u64 {
+            let pts = random_points(60, seed);
+            let cost = EuclideanCost::new(&pts);
+            let nl = NeighborLists::build(&pts, 10);
+            let t0 = nearest_neighbor(&cost);
+            let len0 = t0.length(&cost);
+            let t1 = improve_neighbors(&pts, t0, &ImproveConfig::default(), &nl);
+            assert!(t1.length(&cost) <= len0 + 1e-9, "seed {seed}");
+            let mut sorted = t1.order().to_vec();
+            sorted.sort_unstable();
+            assert!(sorted.iter().copied().eq(0..60), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn full_lists_track_dense_improve_quality() {
+        // With k = n-1 the candidate lists are complete; the neighbor-list
+        // search must land within a whisker of the dense one.
+        for seed in [3u64, 17, 42] {
+            let pts = random_points(40, seed);
+            let cost = EuclideanCost::new(&pts);
+            let nl = NeighborLists::build(&pts, 39);
+            let t0 = nearest_neighbor(&cost);
+            let dense = improve(&cost, t0.clone(), &ImproveConfig::default());
+            let sparse = improve_neighbors(&pts, t0, &ImproveConfig::default(), &nl);
+            assert!(
+                sparse.length(&cost) <= dense.length(&cost) * 1.05 + 1e-9,
+                "seed {seed}: sparse {} vs dense {}",
+                sparse.length(&cost),
+                dense.length(&cost)
+            );
+        }
+    }
+
+    #[test]
+    fn nl_two_opt_not_longer_than_dense_two_opt() {
+        for seed in 0..20u64 {
+            let pts = random_points(80, seed);
+            let cost = EuclideanCost::new(&pts);
+            let nl = NeighborLists::build(&pts, 12);
+            let t0 = nearest_neighbor(&cost);
+            let dense = two_opt(&cost, t0.clone()).length(&cost);
+            let sparse = improve_neighbors(&pts, t0, &ImproveConfig::default(), &nl).length(&cost);
+            assert!(
+                sparse <= dense + 1e-9,
+                "seed {seed}: NL improve {sparse} vs dense 2-opt {dense}"
+            );
+        }
+    }
+
+    #[test]
+    fn reverse_cyclic_matches_plain_reverse() {
+        // Interior segment, wrapped segment, and whole-tour cases.
+        let base: Vec<usize> = (0..7).collect();
+        for (from, to) in [(1usize, 4usize), (5, 1), (0, 6), (3, 3)] {
+            let mut order = base.clone();
+            let mut pos = vec![0u32; 7];
+            for (p, &c) in order.iter().enumerate() {
+                pos[c] = p as u32;
+            }
+            reverse_cyclic(&mut order, &mut pos, from, to);
+            // pos stays consistent.
+            for (p, &c) in order.iter().enumerate() {
+                assert_eq!(pos[c], p as u32);
+            }
+            // Check against a rotate-reverse-rotate reference.
+            let n = 7;
+            let len = (to + n - from) % n + 1;
+            let mut reference = base.clone();
+            let seg: Vec<usize> = (0..len).map(|o| reference[(from + o) % n]).collect();
+            for (o, &c) in seg.iter().rev().enumerate() {
+                reference[(from + o) % n] = c;
+            }
+            // The two may differ by reversing the complement: compare as
+            // cyclic tours (same undirected edge multiset).
+            let edges = |ord: &[usize]| {
+                let mut es: Vec<(usize, usize)> = (0..n)
+                    .map(|i| {
+                        let (a, b) = (ord[i], ord[(i + 1) % n]);
+                        (a.min(b), a.max(b))
+                    })
+                    .collect();
+                es.sort_unstable();
+                es
+            };
+            assert_eq!(edges(&order), edges(&reference), "from={from} to={to}");
+        }
+    }
+
+    #[test]
+    fn tiny_instances_are_untouched() {
+        for n in 1..4usize {
+            let pts = random_points(n, 0);
+            let nl = NeighborLists::build(&pts, 10);
+            let t = improve_neighbors(&pts, Tour::identity(n), &ImproveConfig::default(), &nl);
+            assert_eq!(t.len(), n);
+        }
+    }
+}

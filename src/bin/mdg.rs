@@ -120,6 +120,17 @@ fn opt<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, 
     }
 }
 
+/// A required flag that must parse as a finite, strictly positive number
+/// (field sides and radio ranges); rejects bad values with a clean error
+/// instead of tripping a library assert.
+fn req_positive(flags: &Flags, key: &str) -> Result<f64, String> {
+    let v: f64 = req(flags, key)?;
+    if !(v.is_finite() && v > 0.0) {
+        return Err(format!("--{key} must be a positive number, got {v}"));
+    }
+    Ok(v)
+}
+
 fn load_bundle(flags: &Flags) -> Result<PlanBundle, String> {
     let path: PathBuf = req(flags, "bundle")?;
     let text = std::fs::read_to_string(&path)
@@ -129,8 +140,8 @@ fn load_bundle(flags: &Flags) -> Result<PlanBundle, String> {
 
 fn cmd_plan(flags: &Flags) -> Result<(), String> {
     let n: usize = req(flags, "n")?;
-    let side: f64 = req(flags, "side")?;
-    let range: f64 = req(flags, "range")?;
+    let side = req_positive(flags, "side")?;
+    let range = req_positive(flags, "range")?;
     let seed: u64 = opt(flags, "seed", 42)?;
     let deployment = DeploymentConfig::uniform(n, side).generate(seed);
     let network = Network::build(deployment.clone(), range);
@@ -145,9 +156,11 @@ fn cmd_plan(flags: &Flags) -> Result<(), String> {
             .map_err(|_| "invalid value for --cap".to_string())?;
         cfg.max_sensors_per_pp = Some(cap);
     }
+    let t_plan = std::time::Instant::now();
     let plan = ShdgPlanner::with_config(cfg)
         .plan(&network)
         .map_err(|e| e.to_string())?;
+    let plan_ms = t_plan.elapsed().as_secs_f64() * 1e3;
     plan.validate(&network.deployment.sensors, range)
         .map_err(|e| format!("internal: {e}"))?;
 
@@ -156,6 +169,8 @@ fn cmd_plan(flags: &Flags) -> Result<(), String> {
         "planned {} sensors on a {side:.0} m field (R = {range:.0} m, seed {seed})",
         n
     );
+    // Timing goes to stderr: stdout stays byte-deterministic per seed.
+    eprintln!("  planning time  : {plan_ms:.1} ms");
     println!("  polling points : {}", m.n_polling_points);
     println!("  tour           : {:.1} m", m.tour_length);
     println!(
@@ -261,8 +276,8 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
 
 fn cmd_runtime(flags: &Flags) -> Result<(), String> {
     let n: usize = req(flags, "n")?;
-    let side: f64 = req(flags, "side")?;
-    let range: f64 = req(flags, "range")?;
+    let side = req_positive(flags, "side")?;
+    let range = req_positive(flags, "range")?;
     let seed: u64 = opt(flags, "seed", 42)?;
     let rounds: u64 = opt(flags, "rounds", 20)?;
     let deaths: f64 = opt(flags, "deaths", 0.1)?;
@@ -366,8 +381,8 @@ fn cmd_render(flags: &Flags) -> Result<(), String> {
 
 fn cmd_export_ilp(flags: &Flags) -> Result<(), String> {
     let n: usize = req(flags, "n")?;
-    let side: f64 = req(flags, "side")?;
-    let range: f64 = req(flags, "range")?;
+    let side = req_positive(flags, "side")?;
+    let range = req_positive(flags, "range")?;
     let seed: u64 = opt(flags, "seed", 42)?;
     let out: PathBuf = req(flags, "out")?;
     let network = Network::build(DeploymentConfig::uniform(n, side).generate(seed), range);
@@ -385,8 +400,8 @@ fn cmd_export_ilp(flags: &Flags) -> Result<(), String> {
 
 fn cmd_stats(flags: &Flags) -> Result<(), String> {
     let n: usize = req(flags, "n")?;
-    let side: f64 = req(flags, "side")?;
-    let range: f64 = req(flags, "range")?;
+    let side = req_positive(flags, "side")?;
+    let range = req_positive(flags, "range")?;
     let seed: u64 = opt(flags, "seed", 42)?;
     let network = Network::build(DeploymentConfig::uniform(n, side).generate(seed), range);
     let s = TopologyStats::of_network(&network);
