@@ -15,6 +15,7 @@ pub mod figures;
 pub mod params;
 pub mod runner;
 pub mod scale;
+pub mod scale_par;
 pub mod schemes;
 pub mod table;
 
@@ -23,8 +24,26 @@ pub use table::Table;
 
 /// All experiment ids, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "e1", "t1", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "a1",
-    "a2", "a3", "faults", "scale",
+    "e1",
+    "t1",
+    "f1",
+    "f2",
+    "f3",
+    "f4",
+    "f5",
+    "f6",
+    "f7",
+    "f8",
+    "f9",
+    "f10",
+    "f11",
+    "f12",
+    "a1",
+    "a2",
+    "a3",
+    "faults",
+    "scale",
+    "scale_par",
 ];
 
 /// Runs one experiment by id.
@@ -49,6 +68,7 @@ pub fn run_experiment(id: &str, params: &Params) -> Option<Table> {
         "a3" => Some(figures::a3(params)),
         "faults" => Some(faults::faults(params)),
         "scale" => Some(scale::scale(params)),
+        "scale_par" => Some(scale_par::scale_par(params)),
         _ => None,
     }
 }

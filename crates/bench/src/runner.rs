@@ -1,56 +1,19 @@
-//! Parallel replicate execution (std threads; no external deps).
+//! Parallel replicate execution on the [`mdg_par`] worker pool.
 
 use crate::params::Params;
 
-/// Runs `f(seed)` for every replicate seed across all cores and returns
-/// the results in seed order (deterministic regardless of scheduling).
+/// Runs `f(seed)` for every replicate seed across the [`mdg_par`] pool and
+/// returns the results in seed order (deterministic regardless of
+/// scheduling). Thread-count policy — `MDG_THREADS`, the programmatic
+/// override, core autodetection — lives entirely in `mdg_par`; planner
+/// parallelism nested inside a replicate falls back to sequential
+/// automatically, so replicates and planner stages never oversubscribe.
 pub fn replicate<R, F>(params: &Params, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(u64) -> R + Sync,
 {
-    let n = params.replicates;
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
-    if threads <= 1 || n <= 1 {
-        return (0..n).map(|i| f(params.seed(i))).collect();
-    }
-
-    // Work-stealing over a shared atomic counter; each worker returns
-    // (index, result) pairs which are scattered back into seed order.
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let pairs: Vec<(usize, R)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let f = &f;
-                let next = &next;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= n {
-                            return local;
-                        }
-                        local.push((i, f(params.seed(i))));
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("replicate worker panicked"))
-            .collect()
-    });
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for (i, r) in pairs {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every replicate slot filled"))
-        .collect()
+    mdg_par::par_map(params.replicates, |i| f(params.seed(i)))
 }
 
 /// Runs `f(seed)` over all replicates and averages each component of the

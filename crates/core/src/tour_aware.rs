@@ -73,6 +73,55 @@ fn insertion_cost(tour: &[Point], p: Point) -> (usize, f64) {
 /// Sentinel node id for the sink in the incremental tour bookkeeping.
 const SINK: usize = usize::MAX;
 
+/// Cheapest-insertion cache entry for one candidate: the delta and the
+/// tour node (SINK or candidate id) the insertion edge starts at. One
+/// struct per candidate so the cache updates run as disjoint mutable
+/// slabs under `mdg_par::par_chunks_mut`.
+#[derive(Debug, Clone, Copy)]
+struct InsEntry {
+    delta: f64,
+    after: usize,
+}
+
+/// Running argmax of the tour-aware selection rule. The fold over chunk
+/// winners uses the exact strict-better predicate of the sequential scan,
+/// so combining per-chunk results in chunk order reproduces the full
+/// left-to-right scan bit-for-bit.
+#[derive(Debug, Clone, Copy)]
+struct BestCand {
+    cand: usize,
+    score: f64,
+    gain: usize,
+    ins: f64,
+}
+
+impl BestCand {
+    const NONE: BestCand = BestCand {
+        cand: usize::MAX,
+        score: f64::NEG_INFINITY,
+        gain: 0,
+        ins: 0.0,
+    };
+
+    /// The reference scan's replacement rule: strictly better score, or
+    /// equal score with strictly more gain, or equal both with strictly
+    /// cheaper insertion. Earlier index wins all exact ties, which is what
+    /// makes the chunked fold order-equivalent to one sequential pass.
+    #[inline]
+    fn beats(&self, other: &BestCand) -> bool {
+        self.score > other.score
+            || (self.score == other.score && self.gain > other.gain)
+            || (self.score == other.score && self.gain == other.gain && self.ins < other.ins)
+    }
+}
+
+/// Fixed chunk sizes for the parallel stages. Chunk boundaries depend only
+/// on the candidate count — never on the thread count — so the work
+/// decomposition (and hence every float and tie decision) is identical at
+/// any `MDG_THREADS`.
+const SCAN_CHUNK: usize = 2048;
+const CACHE_CHUNK: usize = 4096;
+
 /// Runs tour-aware greedy covering. Returns `None` if the instance is
 /// infeasible.
 ///
@@ -130,10 +179,14 @@ pub fn tour_aware_cover(
     }
 
     let mut gain: Vec<usize> = inst.candidates.iter().map(|c| c.covers.count()).collect();
-    // Cheapest-insertion cache, valid while the tour has ≥ 2 points: the
-    // delta and the tour node (SINK or candidate id) its edge starts at.
-    let mut ins_cache: Vec<f64> = vec![f64::INFINITY; n_cands];
-    let mut after_cache: Vec<usize> = vec![SINK; n_cands];
+    // Cheapest-insertion cache, valid while the tour has ≥ 2 points.
+    let mut cache: Vec<InsEntry> = vec![
+        InsEntry {
+            delta: f64::INFINITY,
+            after: SINK,
+        };
+        n_cands
+    ];
     let point_of = |id: usize, inst: &CoverageInstance| -> Point {
         if id == SINK {
             sink
@@ -160,36 +213,45 @@ pub fn tour_aware_cover(
 
     while remaining > 0 {
         let single = tour_pts.len() == 1;
-        let mut best_cand = usize::MAX;
-        let mut best_score = f64::NEG_INFINITY;
-        let mut best_gain = 0usize;
-        let mut best_ins = 0.0f64;
-        for c in 0..n_cands {
-            let g = gain[c];
-            if g == 0 {
-                continue;
-            }
-            let ins = if single {
-                2.0 * sink.dist(inst.candidates[c].pos)
-            } else {
-                ins_cache[c]
-            };
-            let denom = cfg.epsilon + cfg.insertion_weight * ins;
-            let score = g as f64 / denom.max(f64::MIN_POSITIVE);
-            let better = score > best_score
-                || (score == best_score && g > best_gain)
-                || (score == best_score && g == best_gain && ins < best_ins);
-            if better {
-                best_score = score;
-                best_cand = c;
-                best_gain = g;
-                best_ins = ins;
-            }
-        }
-        if best_cand == usize::MAX {
+        // Parallel selection scan: each fixed chunk computes its local
+        // argmax with the sequential predicate, then the chunk winners
+        // fold left-to-right with the same predicate (see [`BestCand`]).
+        let best = mdg_par::par_reduce(
+            n_cands,
+            SCAN_CHUNK,
+            |range| {
+                let mut acc = BestCand::NONE;
+                for c in range {
+                    let g = gain[c];
+                    if g == 0 {
+                        continue;
+                    }
+                    let ins = if single {
+                        2.0 * sink.dist(inst.candidates[c].pos)
+                    } else {
+                        cache[c].delta
+                    };
+                    let denom = cfg.epsilon + cfg.insertion_weight * ins;
+                    let score = g as f64 / denom.max(f64::MIN_POSITIVE);
+                    let contender = BestCand {
+                        cand: c,
+                        score,
+                        gain: g,
+                        ins,
+                    };
+                    if contender.beats(&acc) {
+                        acc = contender;
+                    }
+                }
+                acc
+            },
+            |a, b| if b.beats(&a) { b } else { a },
+        )
+        .unwrap_or(BestCand::NONE);
+        if best.cand == usize::MAX {
             return None;
         }
-        let w = best_cand;
+        let w = best.cand;
         let w_pt = inst.candidates[w].pos;
 
         // Update gains through the inverted index before marking covered.
@@ -205,7 +267,7 @@ pub fn tour_aware_cover(
         remaining = n - covered.count();
 
         // Splice the winner into the tour after its cached edge start.
-        let after = if single { SINK } else { after_cache[w] };
+        let after = if single { SINK } else { cache[w].after };
         let pos = tour_nodes
             .iter()
             .position(|&id| id == after)
@@ -221,47 +283,61 @@ pub fn tour_aware_cover(
         if single {
             // 1 → 2 transition: both edges of the two-point tour have
             // bitwise-equal deltas, so the reference's strict `<` keeps
-            // position 0 — the edge leaving the sink.
-            for c in 0..n_cands {
-                if gain[c] == 0 {
-                    continue;
+            // position 0 — the edge leaving the sink. Each cache entry is
+            // a pure function of its own candidate, so the slabs run in
+            // parallel.
+            mdg_par::par_chunks_mut(&mut cache, CACHE_CHUNK, |start, slab| {
+                for (k, e) in slab.iter_mut().enumerate() {
+                    let c = start + k;
+                    if gain[c] == 0 {
+                        continue;
+                    }
+                    let p = inst.candidates[c].pos;
+                    *e = InsEntry {
+                        delta: sink.dist(p) + p.dist(w_pt) - sink.dist(w_pt),
+                        after: SINK,
+                    };
                 }
-                let p = inst.candidates[c].pos;
-                ins_cache[c] = sink.dist(p) + p.dist(w_pt) - sink.dist(w_pt);
-                after_cache[c] = SINK;
-            }
+            });
         } else {
             // Edge (after, b) was split into (after, w) and (w, b).
-            // Cache invariant: `ins_cache[c]` is the true minimum over all
-            // tour edges, so if the split edge held a candidate's unique
-            // minimum its anchor necessarily pointed there (rescanned
-            // above); any tied or worse surviving edge keeps the cached
-            // value valid, and the two probes below cover the new edges.
+            // Cache invariant: `cache[c].delta` is the true minimum over
+            // all tour edges, so if the split edge held a candidate's
+            // unique minimum its anchor necessarily pointed there
+            // (rescanned below); any tied or worse surviving edge keeps
+            // the cached value valid, and the two probes cover the new
+            // edges. Candidates update independently — parallel slabs.
             let a_pt = point_of(after, inst);
             let b = tour_nodes[(pos + 1) % tour_nodes.len()];
             let b_pt = point_of(b, inst);
-            for c in 0..n_cands {
-                if gain[c] == 0 {
-                    continue;
-                }
-                if after_cache[c] == after {
-                    let (best, anchor) = rescan(inst.candidates[c].pos, &tour_pts, &tour_nodes);
-                    ins_cache[c] = best;
-                    after_cache[c] = anchor;
-                } else {
-                    let p = inst.candidates[c].pos;
-                    let d1 = a_pt.dist(p) + p.dist(w_pt) - a_pt.dist(w_pt);
-                    if d1 < ins_cache[c] {
-                        ins_cache[c] = d1;
-                        after_cache[c] = after;
+            mdg_par::par_chunks_mut(&mut cache, CACHE_CHUNK, |start, slab| {
+                for (k, e) in slab.iter_mut().enumerate() {
+                    let c = start + k;
+                    if gain[c] == 0 {
+                        continue;
                     }
-                    let d2 = w_pt.dist(p) + p.dist(b_pt) - w_pt.dist(b_pt);
-                    if d2 < ins_cache[c] {
-                        ins_cache[c] = d2;
-                        after_cache[c] = w;
+                    if e.after == after {
+                        let (best, anchor) = rescan(inst.candidates[c].pos, &tour_pts, &tour_nodes);
+                        *e = InsEntry {
+                            delta: best,
+                            after: anchor,
+                        };
+                    } else {
+                        let p = inst.candidates[c].pos;
+                        let d1 = a_pt.dist(p) + p.dist(w_pt) - a_pt.dist(w_pt);
+                        if d1 < e.delta {
+                            *e = InsEntry { delta: d1, after };
+                        }
+                        let d2 = w_pt.dist(p) + p.dist(b_pt) - w_pt.dist(b_pt);
+                        if d2 < e.delta {
+                            *e = InsEntry {
+                                delta: d2,
+                                after: w,
+                            };
+                        }
                     }
                 }
-            }
+            });
         }
     }
     Some(TourAwareCover {

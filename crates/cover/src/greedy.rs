@@ -168,15 +168,14 @@ where
     let mut selected = Vec::new();
     let mut remaining = n;
     let mut ties: Vec<Option<f64>> = vec![None; inst.n_candidates()];
-    let mut heap: BinaryHeap<GainEntry> = inst
-        .candidates
-        .iter()
-        .enumerate()
-        .map(|(c, cand)| GainEntry {
-            gain: cand.covers.count(),
-            cand: c,
-        })
-        .collect();
+    // Seed the heap with initial gains computed in parallel. `GainEntry`'s
+    // ordering is total (gain, then candidate index), so the heap's pop
+    // sequence — and with it the whole selection — does not depend on the
+    // order entries were produced in.
+    let mut heap = BinaryHeap::from(mdg_par::par_map(inst.n_candidates(), |c| GainEntry {
+        gain: inst.candidates[c].covers.count(),
+        cand: c,
+    }));
 
     while remaining > 0 {
         let (best, _) = lazy_select(&mut heap, &covered, inst, &mut ties, &tie_break)?;
@@ -233,13 +232,15 @@ where
     let mut selected = Vec::new();
     let mut remaining = wanted.count();
     let mut ties: Vec<Option<f64>> = vec![None; inst.n_candidates()];
-    let mut heap: BinaryHeap<GainEntry> = allowed
-        .iter()
-        .map(|&c| GainEntry {
+    // Parallel seeding; see `greedy_cover` for why the heap's pop order is
+    // unaffected.
+    let mut heap = BinaryHeap::from(mdg_par::par_map(allowed.len(), |k| {
+        let c = allowed[k];
+        GainEntry {
             gain: inst.candidates[c].covers.count_and_not(&covered),
             cand: c,
-        })
-        .collect();
+        }
+    }));
 
     while remaining > 0 {
         let Some((best, gain)) = lazy_select(&mut heap, &covered, inst, &mut ties, &tie_break)

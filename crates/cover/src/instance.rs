@@ -52,11 +52,15 @@ impl CoverageInstance {
             };
         }
         let grid = SpatialGrid::build(sensors, range);
-        for &pos in sensors {
+        // Candidates are independent: each is a pure function of its own
+        // position, so the parallel build is bit-identical at any thread
+        // count.
+        candidates = mdg_par::par_map(n, |i| {
+            let pos = sensors[i];
             let mut covers = BitSet::new(n);
             grid.for_each_within(pos, range, |j| covers.set(j as usize));
-            candidates.push(Candidate { pos, covers });
-        }
+            Candidate { pos, covers }
+        });
         CoverageInstance {
             targets: sensors.to_vec(),
             candidates,
@@ -86,19 +90,20 @@ impl CoverageInstance {
         let grid = SpatialGrid::build(sensors, range);
         let nx = (field.width() / spacing).floor() as usize + 1;
         let ny = (field.height() / spacing).floor() as usize + 1;
-        for gy in 0..ny {
-            for gx in 0..nx {
-                let pos = Point::new(
-                    (field.min.x + gx as f64 * spacing).min(field.max.x),
-                    (field.min.y + gy as f64 * spacing).min(field.max.y),
-                );
-                let mut covers = BitSet::new(n);
-                grid.for_each_within(pos, range, |j| covers.set(j as usize));
-                if !covers.none() {
-                    candidates.push(Candidate { pos, covers });
-                }
-            }
-        }
+        // Evaluate lattice points in parallel, then filter sequentially so
+        // empty-cover candidates drop out in the same row-major order as
+        // the sequential loop.
+        let cells = mdg_par::par_map(nx * ny, |cell| {
+            let (gy, gx) = (cell / nx, cell % nx);
+            let pos = Point::new(
+                (field.min.x + gx as f64 * spacing).min(field.max.x),
+                (field.min.y + gy as f64 * spacing).min(field.max.y),
+            );
+            let mut covers = BitSet::new(n);
+            grid.for_each_within(pos, range, |j| covers.set(j as usize));
+            (!covers.none()).then_some(Candidate { pos, covers })
+        });
+        candidates.extend(cells.into_iter().flatten());
         CoverageInstance {
             targets: sensors.to_vec(),
             candidates,

@@ -18,13 +18,26 @@ pub struct DistMatrix {
 
 impl DistMatrix {
     /// Builds the pairwise Euclidean distance matrix of `points`.
+    ///
+    /// Rows are computed in parallel in fixed blocks; every entry is the
+    /// same `points[i].dist(points[j])` expression regardless of thread
+    /// count, so the resulting matrix is bit-identical to a sequential
+    /// build.
     pub fn from_points(points: &[Point]) -> Self {
         let n = points.len();
-        let mut data = Vec::with_capacity(n.saturating_sub(1) * n / 2);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                data.push(points[i].dist(points[j]));
+        const ROW_BLOCK: usize = 64;
+        let blocks = mdg_par::par_chunks(n, ROW_BLOCK, |rows| {
+            let mut part = Vec::new();
+            for i in rows {
+                for j in (i + 1)..n {
+                    part.push(points[i].dist(points[j]));
+                }
             }
+            part
+        });
+        let mut data = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+        for part in blocks {
+            data.extend_from_slice(&part);
         }
         DistMatrix { n, data }
     }

@@ -358,4 +358,79 @@ mod tests {
         assert_eq!(single.k_nearest(Point::ORIGIN, 5, None), vec![0]);
         assert!(single.k_nearest(Point::ORIGIN, 5, Some(0)).is_empty());
     }
+
+    #[test]
+    fn k_nearest_k_at_least_n_returns_everything_sorted() {
+        let pts = cluster();
+        let grid = SpatialGrid::build(&pts, 3.0);
+        let q = Point::new(4.0, 4.0);
+        // k == n, k == n+1 and k >> n all return the full set in the same
+        // distance-then-index order.
+        let want = brute_k_nearest(&pts, q, pts.len(), None);
+        for k in [pts.len(), pts.len() + 1, 10 * pts.len()] {
+            assert_eq!(grid.k_nearest(q, k, None), want, "k = {k}");
+        }
+        // With an exclusion, k >= n yields exactly n - 1 hits.
+        let got = grid.k_nearest(q, pts.len() + 3, Some(2));
+        assert_eq!(got.len(), pts.len() - 1);
+        assert!(!got.contains(&2));
+    }
+
+    #[test]
+    fn k_nearest_k_zero_is_empty() {
+        let pts = cluster();
+        let grid = SpatialGrid::build(&pts, 3.0);
+        assert!(grid.k_nearest(Point::ORIGIN, 0, None).is_empty());
+        assert!(grid.k_nearest(Point::ORIGIN, 0, Some(0)).is_empty());
+        assert!(grid.k_nearest(Point::new(-500.0, 80.0), 0, None).is_empty());
+    }
+
+    #[test]
+    fn k_nearest_duplicate_and_colocated_points() {
+        // Three copies of the same point plus two distinct ones: exact
+        // distance ties must resolve by ascending index, and an excluded
+        // duplicate must not drag its co-located twins out with it.
+        let pts = vec![
+            Point::new(5.0, 5.0),
+            Point::new(5.0, 5.0),
+            Point::new(5.0, 5.0),
+            Point::new(6.0, 5.0),
+            Point::new(50.0, 50.0),
+        ];
+        let grid = SpatialGrid::build(&pts, 2.0);
+        let q = Point::new(5.0, 5.0);
+        assert_eq!(grid.k_nearest(q, 3, None), vec![0, 1, 2]);
+        assert_eq!(grid.k_nearest(q, 3, Some(1)), vec![0, 2, 3]);
+        assert_eq!(
+            grid.k_nearest(q, 5, Some(0)),
+            brute_k_nearest(&pts, q, 5, Some(0))
+        );
+        // Querying from a co-located duplicate's own index behaves like any
+        // other exclusion.
+        assert_eq!(grid.k_nearest(pts[2], 2, Some(2)), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_nearest_queries_outside_grid_bounds() {
+        let pts = cluster();
+        let grid = SpatialGrid::build(&pts, 3.0);
+        // Queries beyond every edge and corner of the indexed extent: the
+        // ring expansion must still find the true k nearest.
+        for q in [
+            Point::new(-40.0, 10.0),
+            Point::new(60.0, 10.0),
+            Point::new(10.0, -40.0),
+            Point::new(10.0, 60.0),
+            Point::new(-300.0, 700.0),
+            Point::new(1e4, 1e4),
+        ] {
+            for k in [1usize, 2, 5] {
+                assert_eq!(
+                    grid.k_nearest(q, k, None),
+                    brute_k_nearest(&pts, q, k, None),
+                    "query {q} k {k}"
+                );
+            }
+        }
+    }
 }

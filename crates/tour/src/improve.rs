@@ -26,6 +26,12 @@ impl Default for ImproveConfig {
     }
 }
 
+/// Candidate scans shorter than this run sequentially: the pool dispatch
+/// overhead outweighs the arithmetic. The gate only affects *where* the
+/// scan runs — [`mdg_par::par_find_first_map`] returns the same earliest
+/// hit as the sequential scan — so the tour is identical either way.
+const PAR_SCAN_MIN: usize = 128;
+
 /// One first-improvement 2-opt pass; returns the total gain.
 ///
 /// A 2-opt move removes edges `(order[i], order[i+1])` and
@@ -37,7 +43,12 @@ impl Default for ImproveConfig {
 /// than restarting the whole pass from `i = 0`. Sweeps repeat until one
 /// full sweep accepts no move, so the result is still a 2-opt local
 /// optimum; the quadratic restart cost per accepted move is gone.
-fn two_opt_pass<C: CostMatrix>(cost: &C, order: &mut [usize], min_gain: f64) -> f64 {
+///
+/// Candidate moves for a given `i` are *evaluated* in parallel (the scan
+/// picks the earliest improving `j`, exactly as the sequential loop does)
+/// while every *application* stays on the caller thread, so the move
+/// sequence — and the final tour — is bit-identical at any thread count.
+fn two_opt_pass<C: CostMatrix + Sync>(cost: &C, order: &mut [usize], min_gain: f64) -> f64 {
     let n = order.len();
     let mut total_gain = 0.0;
     if n < 4 {
@@ -48,31 +59,35 @@ fn two_opt_pass<C: CostMatrix>(cost: &C, order: &mut [usize], min_gain: f64) -> 
         improved = false;
         for i in 0..n - 1 {
             let a = order[i];
-            let mut b = order[i + 1];
-            let mut d_ab = cost.cost(a, b);
-            let mut j = i + 2;
-            while j < n {
-                // Skip the move that would touch the same edge twice (wraps
-                // to i == 0 and j == n-1).
-                if i == 0 && j == n - 1 {
-                    j += 1;
-                    continue;
-                }
-                let c = order[j];
-                let d = order[(j + 1) % n];
-                let gain = d_ab + cost.cost(c, d) - cost.cost(a, c) - cost.cost(b, d);
-                if gain > min_gain {
-                    order[i + 1..=j].reverse();
-                    total_gain += gain;
-                    improved = true;
-                    // Continue from the same i: the reversal replaced the
-                    // successor edge of `a`, so re-read it and rescan j.
-                    b = order[i + 1];
-                    d_ab = cost.cost(a, b);
-                    j = i + 2;
-                } else {
-                    j += 1;
-                }
+            // After an applied move, continue from the same i: the reversal
+            // replaced the successor edge of `a`, so re-read it and rescan.
+            loop {
+                let b = order[i + 1];
+                let d_ab = cost.cost(a, b);
+                let hit = {
+                    let eval = |j: usize| {
+                        // Skip the move that would touch the same edge
+                        // twice (wraps to i == 0 and j == n-1).
+                        if i == 0 && j == n - 1 {
+                            return None;
+                        }
+                        let c = order[j];
+                        let d = order[(j + 1) % n];
+                        let gain = d_ab + cost.cost(c, d) - cost.cost(a, c) - cost.cost(b, d);
+                        (gain > min_gain).then_some(gain)
+                    };
+                    let len = n - (i + 2);
+                    if len >= PAR_SCAN_MIN {
+                        mdg_par::par_find_first_map(len, |idx| eval(i + 2 + idx))
+                            .map(|(idx, gain)| (i + 2 + idx, gain))
+                    } else {
+                        (i + 2..n).find_map(|j| eval(j).map(|gain| (j, gain)))
+                    }
+                };
+                let Some((j, gain)) = hit else { break };
+                order[i + 1..=j].reverse();
+                total_gain += gain;
+                improved = true;
             }
         }
     }
@@ -81,7 +96,7 @@ fn two_opt_pass<C: CostMatrix>(cost: &C, order: &mut [usize], min_gain: f64) -> 
 
 /// 2-opt local search until no improving move remains. Never lengthens the
 /// tour.
-pub fn two_opt<C: CostMatrix>(cost: &C, tour: Tour) -> Tour {
+pub fn two_opt<C: CostMatrix + Sync>(cost: &C, tour: Tour) -> Tour {
     let mut order = tour.into_order();
     two_opt_pass(cost, &mut order, ImproveConfig::default().min_gain);
     Tour::from_order_unchecked(order).normalized()
@@ -89,7 +104,11 @@ pub fn two_opt<C: CostMatrix>(cost: &C, tour: Tour) -> Tour {
 
 /// One Or-opt pass: relocates segments of length `1..=max_segment` to a
 /// better position (possibly reversed). Returns the total gain.
-fn or_opt_pass<C: CostMatrix>(
+///
+/// Like [`two_opt_pass`], insertion positions are *evaluated* in parallel
+/// (earliest improving position wins, as in the sequential scan) and
+/// applied sequentially, keeping the result thread-count-independent.
+fn or_opt_pass<C: CostMatrix + Sync>(
     cost: &C,
     order: &mut Vec<usize>,
     max_segment: usize,
@@ -123,45 +142,56 @@ fn or_opt_pass<C: CostMatrix>(
                 if removal_gain <= min_gain {
                     continue;
                 }
-                // Try reinserting between every other consecutive pair.
-                for pos in 0..n {
-                    let ins_a = order[pos];
-                    let ins_b = order[(pos + 1) % n];
-                    // Insertion edge must be outside the removed segment's
-                    // neighborhood: positions start-1 (mod n, the edge into
-                    // the segment) through start+seg_len are excluded.
-                    let before = (start + n - 1) % n;
-                    if pos == before || (pos >= start && pos <= start + seg_len) {
-                        continue;
-                    }
-                    let base = cost.cost(ins_a, ins_b);
-                    let fwd = cost.cost(ins_a, first) + cost.cost(last, ins_b) - base;
-                    let rev = cost.cost(ins_a, last) + cost.cost(first, ins_b) - base;
-                    let (ins_cost, reversed) = if fwd <= rev {
-                        (fwd, false)
-                    } else {
-                        (rev, true)
+                // Try reinserting between every other consecutive pair,
+                // taking the earliest improving position.
+                let hit = {
+                    let eval = |pos: usize| {
+                        // Insertion edge must be outside the removed
+                        // segment's neighborhood: positions start-1 (mod n,
+                        // the edge into the segment) through start+seg_len
+                        // are excluded.
+                        let before = (start + n - 1) % n;
+                        if pos == before || (pos >= start && pos <= start + seg_len) {
+                            return None;
+                        }
+                        let ins_a = order[pos];
+                        let ins_b = order[(pos + 1) % n];
+                        let base = cost.cost(ins_a, ins_b);
+                        let fwd = cost.cost(ins_a, first) + cost.cost(last, ins_b) - base;
+                        let rev = cost.cost(ins_a, last) + cost.cost(first, ins_b) - base;
+                        let (ins_cost, reversed) = if fwd <= rev {
+                            (fwd, false)
+                        } else {
+                            (rev, true)
+                        };
+                        let gain = removal_gain - ins_cost;
+                        (gain > min_gain).then_some((gain, reversed))
                     };
-                    let gain = removal_gain - ins_cost;
-                    if gain > min_gain {
-                        // Execute: remove the segment, then insert.
-                        let mut seg: Vec<usize> = order.drain(start..start + seg_len).collect();
-                        if reversed {
-                            seg.reverse();
-                        }
-                        // Find the insertion anchor after removal.
-                        let anchor = order
-                            .iter()
-                            .position(|&c| c == ins_a)
-                            .expect("anchor survives removal");
-                        let at = anchor + 1;
-                        for (k, c) in seg.into_iter().enumerate() {
-                            order.insert(at + k, c);
-                        }
-                        total_gain += gain;
-                        improved = true;
-                        continue 'moves;
+                    if n >= PAR_SCAN_MIN {
+                        mdg_par::par_find_first_map(n, eval)
+                    } else {
+                        (0..n).find_map(|pos| eval(pos).map(|m| (pos, m)))
                     }
+                };
+                if let Some((pos, (gain, reversed))) = hit {
+                    // Execute: remove the segment, then insert.
+                    let ins_a = order[pos];
+                    let mut seg: Vec<usize> = order.drain(start..start + seg_len).collect();
+                    if reversed {
+                        seg.reverse();
+                    }
+                    // Find the insertion anchor after removal.
+                    let anchor = order
+                        .iter()
+                        .position(|&c| c == ins_a)
+                        .expect("anchor survives removal");
+                    let at = anchor + 1;
+                    for (k, c) in seg.into_iter().enumerate() {
+                        order.insert(at + k, c);
+                    }
+                    total_gain += gain;
+                    improved = true;
+                    continue 'moves;
                 }
             }
         }
@@ -171,7 +201,7 @@ fn or_opt_pass<C: CostMatrix>(
 
 /// Or-opt local search (segment relocation) until no improving move
 /// remains. Never lengthens the tour.
-pub fn or_opt<C: CostMatrix>(cost: &C, tour: Tour) -> Tour {
+pub fn or_opt<C: CostMatrix + Sync>(cost: &C, tour: Tour) -> Tour {
     let mut order = tour.into_order();
     let cfg = ImproveConfig::default();
     or_opt_pass(cost, &mut order, cfg.max_segment, cfg.min_gain);
@@ -180,7 +210,7 @@ pub fn or_opt<C: CostMatrix>(cost: &C, tour: Tour) -> Tour {
 
 /// Alternates 2-opt and Or-opt passes until neither improves (or
 /// `max_passes` is hit). The standard polishing step of the planner.
-pub fn improve<C: CostMatrix>(cost: &C, tour: Tour, cfg: &ImproveConfig) -> Tour {
+pub fn improve<C: CostMatrix + Sync>(cost: &C, tour: Tour, cfg: &ImproveConfig) -> Tour {
     let mut order = tour.into_order();
     for _ in 0..cfg.max_passes {
         let g1 = two_opt_pass(cost, &mut order, cfg.min_gain);

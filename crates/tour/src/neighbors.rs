@@ -53,11 +53,21 @@ impl NeighborLists {
         let area = (bb.width() * bb.height()).max(1e-12);
         let cell = (area / n as f64).sqrt().max(1e-9);
         let grid = SpatialGrid::build(points, cell);
+        // Each city's list is an independent grid query, so the k-NN
+        // builds parallelize trivially; concatenating fixed blocks in
+        // order keeps `flat` identical to the sequential build.
         let mut flat = Vec::with_capacity(n * stride);
-        for (i, &p) in points.iter().enumerate() {
-            let knn = grid.k_nearest(p, stride, Some(i as u32));
-            debug_assert_eq!(knn.len(), stride);
-            flat.extend_from_slice(&knn);
+        const CITY_BLOCK: usize = 512;
+        for part in mdg_par::par_chunks(n, CITY_BLOCK, |cities| {
+            let mut part = Vec::with_capacity(cities.len() * stride);
+            for i in cities {
+                let knn = grid.k_nearest(points[i], stride, Some(i as u32));
+                debug_assert_eq!(knn.len(), stride);
+                part.extend_from_slice(&knn);
+            }
+            part
+        }) {
+            flat.extend_from_slice(&part);
         }
         NeighborLists { stride, flat }
     }

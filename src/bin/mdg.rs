@@ -69,14 +69,27 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  mdg plan     --n N --side METERS --range METERS [--seed S] [--cap K] [--greedy] [--out bundle.json]
+  mdg plan     --n N --side METERS --range METERS [--seed S] [--cap K] [--greedy] [--threads T]
+               [--out bundle.json]
   mdg fleet    --bundle bundle.json (--k K | --deadline SECS) [--speed M/S] [--upload SECS] [--out fleet.json]
   mdg simulate --bundle bundle.json [--speed M/S] [--upload SECS] [--battery JOULES]
   mdg runtime  --n N --side METERS --range METERS [--seed S] [--rounds R] [--deaths RATE]
                [--loss RATE] [--policy static|repair] [--battery JOULES] [--trace out.jsonl]
+               [--threads T]
   mdg render   --bundle bundle.json --out figure.svg [--edges]
   mdg stats    --n N --side METERS --range METERS [--seed S]
-  mdg export-ilp --n N --side METERS --range METERS [--seed S] --out model.lp";
+  mdg export-ilp --n N --side METERS --range METERS [--seed S] --out model.lp
+
+--threads T sets the planner worker-thread count (0 or omitted = auto:
+MDG_THREADS env, else all cores). Plans are bit-identical at any T.";
+
+/// Applies `--threads` (0 = auto) to the global `mdg-par` policy and
+/// returns the effective thread count for the stderr report.
+fn apply_threads(flags: &Flags) -> Result<usize, String> {
+    let t: usize = opt(flags, "threads", 0)?;
+    mobile_collectors::par::set_threads(t);
+    Ok(mobile_collectors::par::threads())
+}
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}\n{USAGE}");
@@ -143,6 +156,7 @@ fn cmd_plan(flags: &Flags) -> Result<(), String> {
     let side = req_positive(flags, "side")?;
     let range = req_positive(flags, "range")?;
     let seed: u64 = opt(flags, "seed", 42)?;
+    let threads = apply_threads(flags)?;
     let deployment = DeploymentConfig::uniform(n, side).generate(seed);
     let network = Network::build(deployment.clone(), range);
 
@@ -170,7 +184,7 @@ fn cmd_plan(flags: &Flags) -> Result<(), String> {
         n
     );
     // Timing goes to stderr: stdout stays byte-deterministic per seed.
-    eprintln!("  planning time  : {plan_ms:.1} ms");
+    eprintln!("  planning time  : {plan_ms:.1} ms ({threads} threads)");
     println!("  polling points : {}", m.n_polling_points);
     println!("  tour           : {:.1} m", m.tour_length);
     println!(
@@ -294,10 +308,14 @@ fn cmd_runtime(flags: &Flags) -> Result<(), String> {
         Some(other) => return Err(format!("unknown policy `{other}` (static|repair)")),
     };
 
+    let threads = apply_threads(flags)?;
     let network = Network::build(DeploymentConfig::uniform(n, side).generate(seed), range);
+    let t_plan = std::time::Instant::now();
     let plan = ShdgPlanner::new()
         .plan(&network)
         .map_err(|e| e.to_string())?;
+    let plan_ms = t_plan.elapsed().as_secs_f64() * 1e3;
+    eprintln!("  planning time  : {plan_ms:.1} ms ({threads} threads)");
     // Deaths spread over the first ~60% of the run, so repair has rounds
     // left in which to recover.
     let horizon = plan.collection_time(1.0, 0.5) * rounds as f64 * 0.6;
