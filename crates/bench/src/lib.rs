@@ -13,6 +13,7 @@
 pub mod faults;
 pub mod figures;
 pub mod params;
+pub mod profile;
 pub mod runner;
 pub mod scale;
 pub mod scale_par;
@@ -44,6 +45,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "faults",
     "scale",
     "scale_par",
+    "profile",
 ];
 
 /// Runs one experiment by id.
@@ -69,6 +71,7 @@ pub fn run_experiment(id: &str, params: &Params) -> Option<Table> {
         "faults" => Some(faults::faults(params)),
         "scale" => Some(scale::scale(params)),
         "scale_par" => Some(scale_par::scale_par(params)),
+        "profile" => Some(profile::profile(params)),
         _ => None,
     }
 }

@@ -122,7 +122,12 @@ impl ShdgPlanner {
 
     /// Plans a single-collector data-gathering tour for `net`.
     pub fn plan(&self, net: &Network) -> Result<GatheringPlan, PlanError> {
-        let inst = self.coverage_instance(net);
+        let mut sp_plan = mdg_obs::span("plan");
+        sp_plan.add_items(net.n_sensors() as u64);
+        let inst = {
+            let _sp = mdg_obs::span("instance");
+            self.coverage_instance(net)
+        };
         let sink = net.deployment.sink;
         if net.n_sensors() == 0 {
             return Ok(GatheringPlan::new(sink, Vec::new(), Vec::new()));
@@ -139,19 +144,23 @@ impl ShdgPlanner {
         }
 
         // 1. Cover.
-        let mut selected = match self.config.covering {
-            CoveringStrategy::Greedy => {
-                greedy_cover(&inst, |c| inst.candidates[c].pos.dist_sq(sink))
-                    .expect("feasibility checked above")
-            }
-            CoveringStrategy::TourAware { insertion_weight } => {
-                let cfg = TourAwareConfig {
-                    insertion_weight,
-                    ..TourAwareConfig::default()
-                };
-                tour_aware_cover(&inst, sink, &cfg)
-                    .expect("feasibility checked above")
-                    .selected
+        let mut selected = {
+            let mut sp = mdg_obs::span("cover");
+            sp.add_items(inst.candidates.len() as u64);
+            match self.config.covering {
+                CoveringStrategy::Greedy => {
+                    greedy_cover(&inst, |c| inst.candidates[c].pos.dist_sq(sink))
+                        .expect("feasibility checked above")
+                }
+                CoveringStrategy::TourAware { insertion_weight } => {
+                    let cfg = TourAwareConfig {
+                        insertion_weight,
+                        ..TourAwareConfig::default()
+                    };
+                    tour_aware_cover(&inst, sink, &cfg)
+                        .expect("feasibility checked above")
+                        .selected
+                }
             }
         };
 
@@ -160,6 +169,7 @@ impl ShdgPlanner {
         //    preliminary tour; using the removal gain of the final tour
         //    would be circular.
         if self.config.prune && selected.len() > 1 {
+            let _sp = mdg_obs::span("prune");
             let prelim = self.tour_over(&inst, sink, &selected, 0);
             let detour: Vec<f64> = removal_gains(&prelim);
             // Map candidate -> its detour in the preliminary tour order.
@@ -171,11 +181,17 @@ impl ShdgPlanner {
         }
 
         // 3. Final tour.
-        let (tour_pts, tour_cands) =
-            self.tour_over(&inst, sink, &selected, self.config.improve_passes);
+        let (tour_pts, tour_cands) = {
+            let mut sp = mdg_obs::span("tour");
+            sp.add_items(selected.len() as u64);
+            self.tour_over(&inst, sink, &selected, self.config.improve_passes)
+        };
 
         // 4. Assign sensors to their nearest polling point in tour order.
-        let assignment_sel = inst.assign(&tour_cands).expect("selection is a cover");
+        let assignment_sel = {
+            let _sp = mdg_obs::span("assign");
+            inst.assign(&tour_cands).expect("selection is a cover")
+        };
         let mut covered: Vec<Vec<u32>> = vec![Vec::new(); tour_cands.len()];
         for (s, &k) in assignment_sel.iter().enumerate() {
             covered[k].push(s as u32);

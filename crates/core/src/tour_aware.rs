@@ -152,6 +152,13 @@ pub fn tour_aware_cover(
 ) -> Option<TourAwareCover> {
     let n = inst.n_targets();
     let n_cands = inst.n_candidates();
+    let mut sp = mdg_obs::span("tour_aware");
+    sp.add_items(n_cands as u64);
+    // Cache-maintenance counters, bumped from mdg-par worker slabs (each
+    // slab accumulates locally and flushes once — pure observation, so the
+    // bit-identical-plan invariant is untouched).
+    let ctr_rescans = mdg_obs::counter("tour_aware/cache_rescans");
+    let ctr_probes = mdg_obs::counter("tour_aware/cache_probes");
     let mut covered = BitSet::new(n);
     let mut selected = Vec::new();
     let mut tour_pts: Vec<Point> = vec![sink];
@@ -311,18 +318,22 @@ pub fn tour_aware_cover(
             let b = tour_nodes[(pos + 1) % tour_nodes.len()];
             let b_pt = point_of(b, inst);
             mdg_par::par_chunks_mut(&mut cache, CACHE_CHUNK, |start, slab| {
+                let mut rescans = 0u64;
+                let mut probes = 0u64;
                 for (k, e) in slab.iter_mut().enumerate() {
                     let c = start + k;
                     if gain[c] == 0 {
                         continue;
                     }
                     if e.after == after {
+                        rescans += 1;
                         let (best, anchor) = rescan(inst.candidates[c].pos, &tour_pts, &tour_nodes);
                         *e = InsEntry {
                             delta: best,
                             after: anchor,
                         };
                     } else {
+                        probes += 1;
                         let p = inst.candidates[c].pos;
                         let d1 = a_pt.dist(p) + p.dist(w_pt) - a_pt.dist(w_pt);
                         if d1 < e.delta {
@@ -337,6 +348,8 @@ pub fn tour_aware_cover(
                         }
                     }
                 }
+                ctr_rescans.add(rescans);
+                ctr_probes.add(probes);
             });
         }
     }

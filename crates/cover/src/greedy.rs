@@ -78,6 +78,7 @@ fn lazy_select<F>(
     inst: &CoverageInstance,
     ties: &mut [Option<f64>],
     tie_break: &F,
+    reevals: &mut u64,
 ) -> Option<(usize, usize)>
 where
     F: Fn(usize) -> f64,
@@ -89,6 +90,7 @@ where
             break;
         }
         heap.pop();
+        *reevals += 1;
         let gain = inst.candidates[top.cand].covers.count_and_not(covered);
         if gain == 0 {
             continue; // Fully covered already; drop the candidate for good.
@@ -164,6 +166,9 @@ where
     F: Fn(usize) -> f64,
 {
     let n = inst.n_targets();
+    let mut sp = mdg_obs::span("lazy_greedy");
+    sp.add_items(inst.n_candidates() as u64);
+    let mut reevals = 0u64;
     let mut covered = BitSet::new(n);
     let mut selected = Vec::new();
     let mut remaining = n;
@@ -178,11 +183,22 @@ where
     }));
 
     while remaining > 0 {
-        let (best, _) = lazy_select(&mut heap, &covered, inst, &mut ties, &tie_break)?;
+        let Some((best, _)) = lazy_select(
+            &mut heap,
+            &covered,
+            inst,
+            &mut ties,
+            &tie_break,
+            &mut reevals,
+        ) else {
+            mdg_obs::counter("lazy_greedy/reevals").add(reevals);
+            return None;
+        };
         covered.union_with(&inst.candidates[best].covers);
         selected.push(best);
         remaining = n - covered.count();
     }
+    mdg_obs::counter("lazy_greedy/reevals").add(reevals);
     Some(selected)
 }
 
@@ -220,6 +236,9 @@ where
     F: Fn(usize) -> f64,
 {
     let n = inst.n_targets();
+    let mut sp = mdg_obs::span("lazy_greedy");
+    sp.add_items(allowed.len() as u64);
+    let mut reevals = 0u64;
     // Treat everything outside `targets` as pre-covered, then run the
     // standard lazy-greedy loop over the allowed candidates.
     let wanted = BitSet::from_indices(n, targets);
@@ -243,14 +262,22 @@ where
     }));
 
     while remaining > 0 {
-        let Some((best, gain)) = lazy_select(&mut heap, &covered, inst, &mut ties, &tie_break)
-        else {
+        let Some((best, gain)) = lazy_select(
+            &mut heap,
+            &covered,
+            inst,
+            &mut ties,
+            &tie_break,
+            &mut reevals,
+        ) else {
+            mdg_obs::counter("lazy_greedy/reevals").add(reevals);
             return None; // Some requested target is unreachable.
         };
         covered.union_with(&inst.candidates[best].covers);
         selected.push(best);
         remaining -= gain;
     }
+    mdg_obs::counter("lazy_greedy/reevals").add(reevals);
     Some(selected)
 }
 

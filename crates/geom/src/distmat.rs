@@ -25,6 +25,8 @@ impl DistMatrix {
     /// build.
     pub fn from_points(points: &[Point]) -> Self {
         let n = points.len();
+        let mut sp = mdg_obs::span("distmat");
+        sp.add_items((n.saturating_sub(1) * n / 2) as u64);
         const ROW_BLOCK: usize = 64;
         let blocks = mdg_par::par_chunks(n, ROW_BLOCK, |rows| {
             let mut part = Vec::new();

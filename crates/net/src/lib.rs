@@ -10,7 +10,7 @@
 //!   and the sink) can communicate iff their Euclidean distance is at most
 //!   the transmission range `R`. Adjacency is stored in compressed sparse
 //!   row ([`graph::Csr`]) form.
-//! * **Graph algorithms** ([`traverse`], [`dijkstra`], [`components`]):
+//! * **Graph algorithms** ([`traverse`], [`mod@dijkstra`], [`mod@components`]):
 //!   BFS hop trees (the minimum-hop routing structure used by the paper's
 //!   multi-hop baseline), weighted shortest-path trees, connected
 //!   components, and bounded k-hop neighborhood queries.

@@ -1,0 +1,705 @@
+//! `mdg-obs` — zero-dependency observability for the mobile-collectors workspace.
+//!
+//! The paper's claims are quantitative (tour length, energy uniformity,
+//! gathering latency), so the planner and runtime need first-class
+//! instrumentation rather than ad-hoc stderr lines. This crate provides it
+//! using only `std`:
+//!
+//! * **Hierarchical phase spans** — [`span()`] / [`span!`] record wall time,
+//!   invocation counts, and items processed, keyed by a `/`-separated path
+//!   built from the thread-local span stack (`plan` → `plan/cover` →
+//!   `plan/cover/lazy_greedy`).
+//! * **Counters** — [`counter`] returns a cheap atomic handle that parallel
+//!   workers may bump without coordination (relaxed ordering).
+//! * **Log2 histograms** — [`histogram`] buckets `u64` samples by power of
+//!   two, so distributions (repair ops per round, retries per round) cost one
+//!   atomic increment per sample.
+//! * **Two exporters** — [`Profile::render_tree`] for a human-readable
+//!   summary on stderr and [`Profile::to_jsonl`] for machine-readable JSONL
+//!   next to the runtime trace format in `mdg-runtime`.
+//!
+//! # Determinism contract
+//!
+//! Instrumentation must never perturb planning results: the workspace-level
+//! `obs_equivalence` test asserts plans are **bit-identical** with profiling
+//! on and off, at 1 and 4 threads. To keep that invariant trivially true, the
+//! API only *observes*: nothing in this crate feeds back into algorithm
+//! state, and all recording is gated behind a process-global flag
+//! ([`set_enabled`]) that defaults to **off**. When disabled, a span is one
+//! relaxed atomic load and a counter add is one relaxed load — within noise
+//! on the scale benches.
+//!
+//! # Threading model
+//!
+//! Spans use a thread-local path stack, so they should be opened on the
+//! orchestrating thread (the one that calls into `mdg-par`), not inside
+//! worker closures — a span opened on a worker would start a fresh root path.
+//! Workers instead bump [`Counter`]s / [`Histogram`]s, which are shared
+//! atomics, or accumulate locally and flush once after the parallel region
+//! (preferred: zero contention).
+//!
+//! # Example
+//!
+//! ```
+//! mdg_obs::set_enabled(true);
+//! {
+//!     let mut sp = mdg_obs::span("plan");
+//!     sp.add_items(100);
+//!     let _inner = mdg_obs::span("cover");
+//!     mdg_obs::counter("plan/cover/reevals").add(42);
+//! }
+//! let profile = mdg_obs::snapshot();
+//! assert_eq!(profile.spans[0].path, "plan");
+//! assert_eq!(profile.spans[1].path, "plan/cover");
+//! eprint!("{}", profile.render_tree());
+//! mdg_obs::set_enabled(false);
+//! mdg_obs::reset();
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of log2 histogram buckets: bucket 0 holds zeros, bucket `i` (1..=64)
+/// holds values in `[2^(i-1), 2^i)`.
+pub const HIST_BUCKETS: usize = 65;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Globally enable or disable recording. Disabled by default; flipping this
+/// does not clear previously recorded data (see [`reset`]).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+#[derive(Default)]
+struct SpanStat {
+    calls: u64,
+    wall_nanos: u64,
+    items: u64,
+}
+
+struct HistInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+struct Registry {
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    hists: Mutex<BTreeMap<String, Arc<HistInner>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| Registry {
+        spans: Mutex::new(BTreeMap::new()),
+        counters: Mutex::new(BTreeMap::new()),
+        hists: Mutex::new(BTreeMap::new()),
+    })
+}
+
+thread_local! {
+    /// Current `/`-joined span path for this thread.
+    static PATH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+struct ActiveSpan {
+    path: String,
+    prev_len: usize,
+    start: Instant,
+    items: u64,
+}
+
+/// RAII guard for a phase span. Created by [`span()`]; on drop it accumulates
+/// wall time, one call, and any [`Span::add_items`] total under its path.
+/// Inert (a no-op) when recording is disabled.
+pub struct Span {
+    inner: Option<ActiveSpan>,
+}
+
+impl Span {
+    /// Attribute `n` processed items (sensors, candidates, moves…) to this
+    /// span. No-op when the span is inert.
+    pub fn add_items(&mut self, n: u64) {
+        if let Some(a) = &mut self.inner {
+            a.items += n;
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(a) = self.inner.take() {
+            let elapsed = a.start.elapsed().as_nanos() as u64;
+            PATH.with(|p| p.borrow_mut().truncate(a.prev_len));
+            let mut spans = registry().spans.lock().unwrap();
+            let st = spans.entry(a.path).or_default();
+            st.calls += 1;
+            st.wall_nanos += elapsed;
+            st.items += a.items;
+        }
+    }
+}
+
+/// Open a span named `name` nested under the current thread's span path.
+/// `name` may itself contain `/` to introduce explicit sub-paths
+/// (`span("plan/cover")` at the root is equivalent to nesting two spans).
+pub fn span(name: &str) -> Span {
+    if !enabled() {
+        return Span { inner: None };
+    }
+    let (path, prev_len) = PATH.with(|p| {
+        let mut p = p.borrow_mut();
+        let prev_len = p.len();
+        if !p.is_empty() {
+            p.push('/');
+        }
+        p.push_str(name);
+        (p.clone(), prev_len)
+    });
+    Span {
+        inner: Some(ActiveSpan {
+            path,
+            prev_len,
+            start: Instant::now(),
+            items: 0,
+        }),
+    }
+}
+
+/// Convenience macro form of [`span()`]: `let _sp = span!("plan/cover");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+/// Shared atomic counter handle returned by [`counter`]. Cloning is cheap;
+/// clones refer to the same underlying value.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n` (relaxed; no-op while recording is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Get or create the counter registered under `path`. Takes a registry lock:
+/// call once outside hot loops and reuse the handle (or accumulate locally
+/// and `add` once per phase).
+pub fn counter(path: &str) -> Counter {
+    let mut counters = registry().counters.lock().unwrap();
+    let arc = counters
+        .entry(path.to_string())
+        .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+    Counter(Arc::clone(arc))
+}
+
+/// Shared log2-bucket histogram handle returned by [`histogram`].
+#[derive(Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    /// Record one sample (relaxed; no-op while recording is disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if enabled() {
+            self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Get or create the histogram registered under `path`. Same locking caveat
+/// as [`counter`].
+pub fn histogram(path: &str) -> Histogram {
+    let mut hists = registry().hists.lock().unwrap();
+    let arc = hists.entry(path.to_string()).or_insert_with(|| {
+        Arc::new(HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        })
+    });
+    Histogram(Arc::clone(arc))
+}
+
+/// Bucket index for a sample: 0 for 0, else `64 - leading_zeros`, so bucket
+/// `i >= 1` covers `[2^(i-1), 2^i)`.
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` value range of histogram bucket `i`.
+pub fn bucket_range(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1u64 << 63, u64::MAX),
+        _ => (1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
+/// Snapshot of one span path's accumulated stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// `/`-joined hierarchical path, e.g. `plan/cover/lazy_greedy`.
+    pub path: String,
+    /// Number of times a span with this path was closed.
+    pub calls: u64,
+    /// Total wall time across all calls, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Total items attributed via [`Span::add_items`].
+    pub items: u64,
+}
+
+/// Snapshot of one histogram: total sample count plus sparse
+/// `(bucket_index, count)` pairs for the non-empty buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistRecord {
+    /// Registration path.
+    pub path: String,
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Non-empty buckets as `(bucket_index, count)`, index ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// Immutable snapshot of all recorded data, produced by [`snapshot`].
+/// Span/counter/histogram entries are sorted by path; counters and
+/// histograms that never recorded anything are omitted.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// All span stats, sorted by path (lexicographic == preorder DFS).
+    pub spans: Vec<SpanRecord>,
+    /// `(path, value)` for every counter with a non-zero value.
+    pub counters: Vec<(String, u64)>,
+    /// Every histogram with at least one sample.
+    pub hists: Vec<HistRecord>,
+}
+
+/// Take a consistent snapshot of everything recorded so far.
+pub fn snapshot() -> Profile {
+    let reg = registry();
+    let spans = reg
+        .spans
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(path, st)| SpanRecord {
+            path: path.clone(),
+            calls: st.calls,
+            wall_nanos: st.wall_nanos,
+            items: st.items,
+        })
+        .collect();
+    let counters = reg
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .filter_map(|(path, c)| {
+            let v = c.load(Ordering::Relaxed);
+            (v != 0).then(|| (path.clone(), v))
+        })
+        .collect();
+    let hists = reg
+        .hists
+        .lock()
+        .unwrap()
+        .iter()
+        .filter_map(|(path, h)| {
+            let mut buckets = Vec::new();
+            let mut count = 0u64;
+            for (i, b) in h.buckets.iter().enumerate() {
+                let n = b.load(Ordering::Relaxed);
+                if n != 0 {
+                    buckets.push((i as u32, n));
+                    count += n;
+                }
+            }
+            (count != 0).then(|| HistRecord {
+                path: path.clone(),
+                count,
+                buckets,
+            })
+        })
+        .collect();
+    Profile {
+        spans,
+        counters,
+        hists,
+    }
+}
+
+/// Clear all recorded spans and zero every counter and histogram in place
+/// (existing [`Counter`] / [`Histogram`] handles stay valid).
+pub fn reset() {
+    let reg = registry();
+    reg.spans.lock().unwrap().clear();
+    for c in reg.counters.lock().unwrap().values() {
+        c.store(0, Ordering::Relaxed);
+    }
+    for h in reg.hists.lock().unwrap().values() {
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Profile {
+    /// Render the human-readable summary: an indented span tree (wall time,
+    /// calls, items, percent of its root phase) followed by counters and
+    /// histograms. Intended for stderr via `mdg … --profile`.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        if self.spans.is_empty() && self.counters.is_empty() && self.hists.is_empty() {
+            out.push_str("profile: no data recorded\n");
+            return out;
+        }
+        if !self.spans.is_empty() {
+            // Total of root (depth-0) spans, used for the percent column.
+            let root_total: u64 = self
+                .spans
+                .iter()
+                .filter(|s| !s.path.contains('/'))
+                .map(|s| s.wall_nanos)
+                .sum();
+            let name_w = self
+                .spans
+                .iter()
+                .map(|s| {
+                    let depth = s.path.matches('/').count();
+                    let name_len = s.path.rsplit('/').next().unwrap_or(&s.path).len();
+                    2 * depth + name_len
+                })
+                .max()
+                .unwrap_or(0)
+                .max(12);
+            let _ = writeln!(
+                out,
+                "{:name_w$}  {:>10}  {:>8}  {:>6}  {:>12}",
+                "phase", "wall ms", "calls", "%root", "items"
+            );
+            for s in &self.spans {
+                let depth = s.path.matches('/').count();
+                let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+                let indent = "  ".repeat(depth);
+                let ms = s.wall_nanos as f64 / 1e6;
+                let pct = if root_total > 0 {
+                    100.0 * s.wall_nanos as f64 / root_total as f64
+                } else {
+                    0.0
+                };
+                let items = if s.items > 0 {
+                    s.items.to_string()
+                } else {
+                    "-".to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "{:name_w$}  {:>10.2}  {:>8}  {:>5.1}%  {:>12}",
+                    format!("{indent}{name}"),
+                    ms,
+                    s.calls,
+                    pct,
+                    items
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (path, v) in &self.counters {
+                let _ = writeln!(out, "  {path} = {v}");
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("histograms (log2 buckets):\n");
+            for h in &self.hists {
+                let _ = write!(out, "  {} n={}:", h.path, h.count);
+                for &(i, n) in &h.buckets {
+                    let (lo, hi) = bucket_range(i as usize);
+                    if lo == hi {
+                        let _ = write!(out, " [{lo}]={n}");
+                    } else {
+                        let _ = write!(out, " [{lo}..{hi}]={n}");
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Render machine-readable JSONL: one JSON object per line, with
+    /// `"kind"` one of `"span"`, `"counter"`, `"hist"`:
+    ///
+    /// ```text
+    /// {"kind":"span","path":"plan/cover","calls":1,"wall_nanos":123,"items":456}
+    /// {"kind":"counter","path":"plan/cover/reevals","value":42}
+    /// {"kind":"hist","path":"runtime/repair_ops","count":12,"buckets":[[0,3],[2,9]]}
+    /// ```
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"span\",\"path\":{},\"calls\":{},\"wall_nanos\":{},\"items\":{}}}",
+                json_string(&s.path),
+                s.calls,
+                s.wall_nanos,
+                s.items
+            );
+        }
+        for (path, v) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"counter\",\"path\":{},\"value\":{}}}",
+                json_string(path),
+                v
+            );
+        }
+        for h in &self.hists {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|&(i, n)| format!("[{i},{n}]"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"hist\",\"path\":{},\"count\":{},\"buckets\":[{}]}}",
+                json_string(&h.path),
+                h.count,
+                buckets.join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Minimal JSON string encoder (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Global state is shared across `#[test]` threads in one binary, so the
+    /// obs tests serialize on this lock and reset around each body.
+    fn with_clean_obs<R>(f: impl FnOnce() -> R) -> R {
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        reset();
+        let r = f();
+        set_enabled(false);
+        reset();
+        r
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_range(i);
+            assert_eq!(bucket_of(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_of(hi), i, "hi of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn spans_nest_and_accumulate() {
+        with_clean_obs(|| {
+            {
+                let mut a = span("plan");
+                a.add_items(10);
+                {
+                    let _b = span!("cover");
+                    let _c = span("lazy_greedy");
+                }
+                let _b2 = span("tour");
+            }
+            {
+                let mut a = span("plan");
+                a.add_items(5);
+            }
+            let p = snapshot();
+            let paths: Vec<&str> = p.spans.iter().map(|s| s.path.as_str()).collect();
+            assert_eq!(
+                paths,
+                ["plan", "plan/cover", "plan/cover/lazy_greedy", "plan/tour"]
+            );
+            let plan = &p.spans[0];
+            assert_eq!(plan.calls, 2);
+            assert_eq!(plan.items, 15);
+            assert!(plan.wall_nanos >= p.spans[1].wall_nanos);
+        });
+    }
+
+    #[test]
+    fn multi_segment_span_names() {
+        with_clean_obs(|| {
+            {
+                let _s = span("plan/cover/lazy_greedy");
+            }
+            let p = snapshot();
+            assert_eq!(p.spans.len(), 1);
+            assert_eq!(p.spans[0].path, "plan/cover/lazy_greedy");
+        });
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        with_clean_obs(|| {
+            set_enabled(false);
+            let c = counter("noop");
+            c.add(7);
+            histogram("noop_h").record(3);
+            {
+                let _s = span("noop_span");
+            }
+            set_enabled(true);
+            let p = snapshot();
+            assert!(p.spans.is_empty());
+            assert!(p.counters.is_empty());
+            assert!(p.hists.is_empty());
+        });
+    }
+
+    #[test]
+    fn counters_and_hists_snapshot() {
+        with_clean_obs(|| {
+            let c = counter("x/hits");
+            c.add(3);
+            counter("x/hits").add(2); // same underlying counter
+            counter("x/zero"); // never incremented -> omitted
+            let h = histogram("x/sizes");
+            h.record(0);
+            h.record(1);
+            h.record(5);
+            h.record(5);
+            let p = snapshot();
+            assert_eq!(p.counters, vec![("x/hits".to_string(), 5)]);
+            assert_eq!(p.hists.len(), 1);
+            assert_eq!(p.hists[0].count, 4);
+            assert_eq!(p.hists[0].buckets, vec![(0, 1), (1, 1), (3, 2)]);
+        });
+    }
+
+    #[test]
+    fn counters_from_worker_threads() {
+        with_clean_obs(|| {
+            let c = counter("threads/sum");
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let c = c.clone();
+                    std::thread::spawn(move || {
+                        for _ in 0..1000 {
+                            c.add(1);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(c.get(), 4000);
+        });
+    }
+
+    #[test]
+    fn exporters_cover_all_kinds() {
+        with_clean_obs(|| {
+            {
+                let _s = span("root");
+                let _t = span("child");
+            }
+            counter("root/count").add(9);
+            histogram("root/hist").record(100);
+            let p = snapshot();
+            let tree = p.render_tree();
+            assert!(tree.contains("root"));
+            assert!(tree.contains("child"));
+            assert!(tree.contains("root/count = 9"));
+            assert!(tree.contains("n=1"));
+            let jsonl = p.to_jsonl();
+            let lines: Vec<&str> = jsonl.lines().collect();
+            assert_eq!(lines.len(), 4);
+            assert!(lines[0].starts_with("{\"kind\":\"span\",\"path\":\"root\""));
+            assert!(lines
+                .iter()
+                .any(|l| l.contains("\"kind\":\"counter\"") && l.contains("\"value\":9")));
+            assert!(lines
+                .iter()
+                .any(|l| l.contains("\"kind\":\"hist\"") && l.contains("\"buckets\":[[7,1]]")));
+        });
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        with_clean_obs(|| {
+            {
+                let _s = span("gone");
+            }
+            let c = counter("gone/count");
+            c.add(1);
+            reset();
+            let p = snapshot();
+            assert!(p.spans.is_empty());
+            assert!(p.counters.is_empty());
+            // Handle from before the reset still works.
+            c.add(2);
+            assert_eq!(c.get(), 2);
+        });
+    }
+}

@@ -188,14 +188,29 @@ impl GatheringRuntime {
         let n = self.net.n_sensors();
         let mut report = RuntimeReport::default();
 
+        // Observability: spans/counters describe the run but never feed
+        // back into it — traces stay deterministic in (seed, config).
+        let mut sp_rt = mdg_obs::span("runtime");
+        let ctr_retries = mdg_obs::counter("runtime/retries");
+        let ctr_attempt_failures = mdg_obs::counter("runtime/attempt_failures");
+        let ctr_drops = mdg_obs::counter("runtime/drops");
+        let ctr_repairs = mdg_obs::counter("runtime/repairs");
+        let ctr_full_replans = mdg_obs::counter("runtime/full_replans");
+        let ctr_stops_removed = mdg_obs::counter("runtime/stops_removed");
+        let ctr_stops_added = mdg_obs::counter("runtime/stops_added");
+        let hist_repair_ops = mdg_obs::histogram("runtime/repair_ops_per_round");
+        let hist_retries = mdg_obs::histogram("runtime/retries_per_round");
+
         for round in 0..self.cfg.max_rounds {
             if self.state.n_alive() == 0 {
                 break;
             }
+            let _sp_round = mdg_obs::span("round");
 
             // 1. Repair from what previous rounds revealed.
             let mut rrep = RepairReport::default();
             if self.cfg.policy == RepairPolicy::Repair {
+                let _sp = mdg_obs::span("repair");
                 let t0 = std::time::Instant::now();
                 rrep = repair_plan(
                     &mut self.plan,
@@ -282,6 +297,19 @@ impl GatheringRuntime {
             })?;
 
             self.state.advance(r.duration_secs);
+
+            sp_rt.add_items(1);
+            ctr_retries.add(hooks.counters.retries);
+            ctr_attempt_failures.add(hooks.counters.attempt_failures);
+            ctr_drops.add(hooks.counters.drops);
+            ctr_repairs.add(u64::from(rrep.changed()));
+            ctr_full_replans.add(u64::from(rrep.full_replan));
+            ctr_stops_removed.add(rrep.removed_stops as u64);
+            ctr_stops_added.add(rrep.added_stops as u64);
+            if self.cfg.policy == RepairPolicy::Repair {
+                hist_repair_ops.record(rrep.ops);
+            }
+            hist_retries.record(hooks.counters.retries);
 
             report.rounds += 1;
             report.delivered += r.packets_delivered as u64;

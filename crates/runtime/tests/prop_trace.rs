@@ -1,0 +1,145 @@
+//! Property-based round-trip tests for the JSONL trace format: every
+//! field of a [`RoundRecord`] must survive serialize → parse exactly, and
+//! serialization must be deterministic (byte-identical re-encodes), for
+//! arbitrary records — not just the hand-picked samples in the unit tests.
+
+use mdg_runtime::{parse_trace, RoundRecord, TraceWriter};
+use proptest::prelude::*;
+
+/// Arbitrary `RoundRecord` covering the full range of every field.
+///
+/// The vendored proptest caps tuple strategies at arity 6, so the 17
+/// fields are generated as three nested tuples. Float fields use
+/// `any::<f64>()`, which is finite by construction — the trace format
+/// (like JSON itself) only represents finite floats.
+fn arb_record() -> impl Strategy<Value = RoundRecord> {
+    (
+        (
+            any::<u64>(),
+            any::<f64>(),
+            any::<f64>(),
+            any::<usize>(),
+            any::<usize>(),
+            any::<usize>(),
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<usize>(),
+            any::<f64>(),
+            any::<bool>(),
+        ),
+        (
+            any::<usize>(),
+            any::<usize>(),
+            any::<bool>(),
+            any::<u64>(),
+            any::<f64>(),
+        ),
+    )
+        .prop_map(
+            |(
+                (round, t_start_secs, duration_secs, n_alive, delivered, expected),
+                (retries, attempt_failures, drops, orphans, orphan_secs_total, repaired),
+                (stops_removed, stops_added, full_replan, repair_ops, tour_length_m),
+            )| RoundRecord {
+                round,
+                t_start_secs,
+                duration_secs,
+                n_alive,
+                delivered,
+                expected,
+                retries,
+                attempt_failures,
+                drops,
+                orphans,
+                orphan_secs_total,
+                repaired,
+                stops_removed,
+                stops_added,
+                full_replan,
+                repair_ops,
+                tour_length_m,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// serialize → parse is the identity on every field.
+    #[test]
+    fn single_record_round_trips_exactly(rec in arb_record()) {
+        let mut w = TraceWriter::new(Vec::new());
+        w.record(&rec).unwrap();
+        prop_assert_eq!(w.records_written(), 1);
+        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        let back = parse_trace(&text).unwrap();
+        prop_assert_eq!(back.len(), 1);
+        prop_assert_eq!(&back[0], &rec);
+    }
+
+    /// Whole traces round-trip in order, and re-serializing the parsed
+    /// records reproduces the original bytes (canonical encoding).
+    #[test]
+    fn traces_round_trip_and_reserialize_byte_identically(
+        recs in proptest::collection::vec(arb_record(), 0..8)
+    ) {
+        let mut w = TraceWriter::new(Vec::new());
+        for r in &recs {
+            w.record(r).unwrap();
+        }
+        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        let back = parse_trace(&text).unwrap();
+        prop_assert_eq!(&back, &recs);
+
+        let mut w2 = TraceWriter::new(Vec::new());
+        for r in &back {
+            w2.record(r).unwrap();
+        }
+        let text2 = String::from_utf8(w2.into_inner().unwrap()).unwrap();
+        prop_assert_eq!(text2, text);
+    }
+}
+
+/// Exact float edge cases the random strategy is unlikely to hit: zero,
+/// negative zero, subnormals, and the extremes of the finite range.
+#[test]
+fn float_edge_values_round_trip() {
+    for v in [
+        0.0,
+        -0.0,
+        f64::MIN_POSITIVE,
+        5e-324,
+        f64::MAX,
+        f64::MIN,
+        1.0 / 3.0,
+        -123456789.000000001,
+    ] {
+        let rec = RoundRecord {
+            round: 0,
+            t_start_secs: v,
+            duration_secs: v,
+            n_alive: 0,
+            delivered: 0,
+            expected: 0,
+            retries: 0,
+            attempt_failures: 0,
+            drops: 0,
+            orphans: 0,
+            orphan_secs_total: v,
+            repaired: false,
+            stops_removed: 0,
+            stops_added: 0,
+            full_replan: false,
+            repair_ops: 0,
+            tour_length_m: v,
+        };
+        let mut w = TraceWriter::new(Vec::new());
+        w.record(&rec).unwrap();
+        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(back[0], rec, "edge float {v:e} did not round-trip");
+    }
+}

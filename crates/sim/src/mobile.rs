@@ -157,6 +157,8 @@ impl MobileGatheringSim {
             self.scenario.sensors.len(),
             "alive mask size mismatch"
         );
+        let mut sp = mdg_obs::span("sim_round");
+        sp.add_items(self.scenario.stops.len() as u64);
         let cfg = &self.config;
         let scen = &self.scenario;
         let mut ledger = EnergyLedger::new(scen.sensors.len(), cfg.radio);

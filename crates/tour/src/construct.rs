@@ -127,6 +127,8 @@ pub fn cheapest_insertion<C: CostMatrix>(cost: &C) -> Tour {
     if n <= 2 {
         return Tour::identity(n);
     }
+    let mut sp = mdg_obs::span("cheapest_insertion");
+    sp.add_items(n as u64);
     // Seed: depot plus its nearest city.
     let seed = (1..n)
         .min_by(|&a, &b| cost.cost(0, a).partial_cmp(&cost.cost(0, b)).unwrap())

@@ -54,6 +54,7 @@ fn two_opt_pass<C: CostMatrix + Sync>(cost: &C, order: &mut [usize], min_gain: f
     if n < 4 {
         return 0.0;
     }
+    let mut moves = 0u64;
     let mut improved = true;
     while improved {
         improved = false;
@@ -87,10 +88,12 @@ fn two_opt_pass<C: CostMatrix + Sync>(cost: &C, order: &mut [usize], min_gain: f
                 let Some((j, gain)) = hit else { break };
                 order[i + 1..=j].reverse();
                 total_gain += gain;
+                moves += 1;
                 improved = true;
             }
         }
     }
+    mdg_obs::counter("improve/two_opt_moves").add(moves);
     total_gain
 }
 
@@ -119,6 +122,7 @@ fn or_opt_pass<C: CostMatrix + Sync>(
     if n < 4 {
         return 0.0;
     }
+    let mut moves = 0u64;
     let mut improved = true;
     while improved {
         improved = false;
@@ -190,12 +194,14 @@ fn or_opt_pass<C: CostMatrix + Sync>(
                         order.insert(at + k, c);
                     }
                     total_gain += gain;
+                    moves += 1;
                     improved = true;
                     continue 'moves;
                 }
             }
         }
     }
+    mdg_obs::counter("improve/or_opt_moves").add(moves);
     total_gain
 }
 
@@ -212,6 +218,8 @@ pub fn or_opt<C: CostMatrix + Sync>(cost: &C, tour: Tour) -> Tour {
 /// `max_passes` is hit). The standard polishing step of the planner.
 pub fn improve<C: CostMatrix + Sync>(cost: &C, tour: Tour, cfg: &ImproveConfig) -> Tour {
     let mut order = tour.into_order();
+    let mut sp = mdg_obs::span("improve");
+    sp.add_items(order.len() as u64);
     for _ in 0..cfg.max_passes {
         let g1 = two_opt_pass(cost, &mut order, cfg.min_gain);
         let g2 = or_opt_pass(cost, &mut order, cfg.max_segment, cfg.min_gain);

@@ -10,7 +10,7 @@
 //! * **Construction heuristics** ([`construct`]): nearest neighbor,
 //!   greedy edge, cheapest insertion, MST double-tree 2-approximation and
 //!   a Christofides-style MST + greedy-matching construction.
-//! * **Improvement heuristics** ([`improve`]): 2-opt and Or-opt local
+//! * **Improvement heuristics** ([`mod@improve`]): 2-opt and Or-opt local
 //!   search, composed by [`improve::improve`]; plus the neighbor-list
 //!   variants ([`neighbors`]) — k-nearest-neighbor candidate moves with
 //!   don't-look bits — that scale the same local search to 10⁵-city

@@ -49,6 +49,8 @@ impl NeighborLists {
                 flat: Vec::new(),
             };
         }
+        let mut sp = mdg_obs::span("knn_build");
+        sp.add_items(n as u64);
         let bb = mdg_geom::Aabb::from_points(points).expect("non-empty point set");
         let area = (bb.width() * bb.height()).max(1e-12);
         let cell = (area / n as f64).sqrt().max(1e-9);
@@ -119,6 +121,7 @@ fn two_opt_neighbors_pass(
     if n < 4 || nl.k() == 0 {
         return 0.0;
     }
+    let mut moves = 0u64;
     // The queue holds cities with their don't-look bit cleared; a city is
     // re-examined only after a move touches its tour neighborhood.
     let mut queue: VecDeque<usize> = order.iter().copied().collect();
@@ -164,6 +167,7 @@ fn two_opt_neighbors_pass(
                             reverse_cyclic(order, pos, pa, (pc + n - 1) % n);
                         }
                         total_gain += gain;
+                        moves += 1;
                         for city in [a, b, c, d] {
                             if !queued[city] {
                                 queued[city] = true;
@@ -180,6 +184,7 @@ fn two_opt_neighbors_pass(
             }
         }
     }
+    mdg_obs::counter("improve/two_opt_moves").add(moves);
     total_gain
 }
 
@@ -203,6 +208,7 @@ fn or_opt_neighbors_pass(
     let max_segment = max_segment.min(n - 2).max(1);
     let mut queue: VecDeque<usize> = order.iter().copied().collect();
     let mut queued = vec![true; n];
+    let mut moves = 0u64;
     'cities: while let Some(first) = queue.pop_front() {
         queued[first] = false;
         for seg_len in 1..=max_segment {
@@ -252,6 +258,7 @@ fn or_opt_neighbors_pass(
                         pos[c] = p as u32;
                     }
                     total_gain += gain;
+                    moves += 1;
                     for city in [prev, first, last, next, e, f] {
                         if !queued[city] {
                             queued[city] = true;
@@ -268,6 +275,7 @@ fn or_opt_neighbors_pass(
             }
         }
     }
+    mdg_obs::counter("improve/or_opt_moves").add(moves);
     total_gain
 }
 
@@ -312,6 +320,8 @@ pub fn improve_neighbors(
 ) -> Tour {
     let mut order = tour.into_order();
     let n = order.len();
+    let mut sp = mdg_obs::span("improve");
+    sp.add_items(n as u64);
     let mut pos = vec![0u32; n];
     for (p, &c) in order.iter().enumerate() {
         pos[c] = p as u32;

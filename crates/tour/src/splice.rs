@@ -4,7 +4,7 @@
 //! This is the plan-repair entry point: after node failures invalidate
 //! polling points, replacements are spliced into the surviving tour
 //! without re-solving the whole TSP (a 2-opt touch-up afterwards polishes
-//! the splice; see [`crate::improve`]).
+//! the splice; see [`mod@crate::improve`]).
 
 use mdg_geom::Point;
 

@@ -2,14 +2,14 @@
 //!
 //! ```text
 //! mdg plan     --n 200 --side 200 --range 30 [--seed 42] [--cap K]
-//!              [--greedy] [--out bundle.json]
+//!              [--greedy] [--out bundle.json] [--profile] [--profile-json PATH]
 //! mdg fleet    --bundle bundle.json (--k K | --deadline SECS)
 //!              [--speed M/S] [--upload SECS] [--out fleet.json]
 //! mdg simulate --bundle bundle.json [--speed M/S] [--upload SECS]
 //!              [--battery JOULES]
 //! mdg runtime  --n 200 --side 200 --range 30 [--seed 42] [--rounds R]
 //!              [--deaths RATE] [--loss RATE] [--policy static|repair]
-//!              [--battery JOULES] [--trace out.jsonl]
+//!              [--battery JOULES] [--trace out.jsonl] [--profile] [--profile-json PATH]
 //! mdg render   --bundle bundle.json --out figure.svg [--edges]
 //! mdg stats    --n 200 --side 200 --range 30 [--seed 42]
 //! ```
@@ -70,25 +70,64 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   mdg plan     --n N --side METERS --range METERS [--seed S] [--cap K] [--greedy] [--threads T]
-               [--out bundle.json]
+               [--out bundle.json] [--profile] [--profile-json PATH]
   mdg fleet    --bundle bundle.json (--k K | --deadline SECS) [--speed M/S] [--upload SECS] [--out fleet.json]
   mdg simulate --bundle bundle.json [--speed M/S] [--upload SECS] [--battery JOULES]
   mdg runtime  --n N --side METERS --range METERS [--seed S] [--rounds R] [--deaths RATE]
                [--loss RATE] [--policy static|repair] [--battery JOULES] [--trace out.jsonl]
-               [--threads T]
+               [--threads T] [--profile] [--profile-json PATH]
   mdg render   --bundle bundle.json --out figure.svg [--edges]
   mdg stats    --n N --side METERS --range METERS [--seed S]
   mdg export-ilp --n N --side METERS --range METERS [--seed S] --out model.lp
 
 --threads T sets the planner worker-thread count (0 or omitted = auto:
-MDG_THREADS env, else all cores). Plans are bit-identical at any T.";
+MDG_THREADS env, else all cores). Plans are bit-identical at any T.
+--profile prints a per-phase timing tree on stderr; --profile-json PATH
+writes the same data as JSONL. Profiling never changes results.";
 
 /// Applies `--threads` (0 = auto) to the global `mdg-par` policy and
-/// returns the effective thread count for the stderr report.
+/// returns the effective thread count for the stderr report. An explicit
+/// request beyond the pool limit is clamped *with a warning* — silently
+/// reporting only the effective count hid the clamp from the user.
 fn apply_threads(flags: &Flags) -> Result<usize, String> {
     let t: usize = opt(flags, "threads", 0)?;
     mobile_collectors::par::set_threads(t);
-    Ok(mobile_collectors::par::threads())
+    let effective = mobile_collectors::par::threads();
+    if t > 0 && effective != t {
+        eprintln!(
+            "warning: --threads {t} exceeds the pool limit; clamped to {effective} (max {})",
+            mobile_collectors::par::MAX_THREADS
+        );
+    }
+    Ok(effective)
+}
+
+/// Turns profiling on (cleanly) when `--profile` or `--profile-json` is
+/// present. Returns whether it did.
+fn apply_profile(flags: &Flags) -> bool {
+    let on = flags.contains_key("profile") || flags.contains_key("profile-json");
+    if on {
+        mobile_collectors::obs::reset();
+        mobile_collectors::obs::set_enabled(true);
+    }
+    on
+}
+
+/// Emits the recorded profile: the summary tree on stderr for `--profile`,
+/// JSONL to the `--profile-json` path.
+fn emit_profile(flags: &Flags) -> Result<(), String> {
+    let prof = mobile_collectors::obs::snapshot();
+    if flags.contains_key("profile") {
+        eprint!("{}", prof.render_tree());
+    }
+    if let Some(path) = flags.get("profile-json") {
+        if path.is_empty() {
+            return Err("--profile-json needs a file path".into());
+        }
+        std::fs::write(path, prof.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("  profile json   : {path}");
+    }
+    Ok(())
 }
 
 fn usage(err: &str) -> ExitCode {
@@ -157,6 +196,7 @@ fn cmd_plan(flags: &Flags) -> Result<(), String> {
     let range = req_positive(flags, "range")?;
     let seed: u64 = opt(flags, "seed", 42)?;
     let threads = apply_threads(flags)?;
+    let profiling = apply_profile(flags);
     let deployment = DeploymentConfig::uniform(n, side).generate(seed);
     let network = Network::build(deployment.clone(), range);
 
@@ -175,6 +215,9 @@ fn cmd_plan(flags: &Flags) -> Result<(), String> {
         .plan(&network)
         .map_err(|e| e.to_string())?;
     let plan_ms = t_plan.elapsed().as_secs_f64() * 1e3;
+    if profiling {
+        emit_profile(flags)?;
+    }
     plan.validate(&network.deployment.sensors, range)
         .map_err(|e| format!("internal: {e}"))?;
 
@@ -309,6 +352,7 @@ fn cmd_runtime(flags: &Flags) -> Result<(), String> {
     };
 
     let threads = apply_threads(flags)?;
+    let profiling = apply_profile(flags);
     let network = Network::build(DeploymentConfig::uniform(n, side).generate(seed), range);
     let t_plan = std::time::Instant::now();
     let plan = ShdgPlanner::new()
@@ -348,6 +392,9 @@ fn cmd_runtime(flags: &Flags) -> Result<(), String> {
     } else {
         rt.run()
     };
+    if profiling {
+        emit_profile(flags)?;
+    }
 
     println!(
         "runtime  : {n} sensors, {rounds} rounds, {deaths:.0}% deaths, {loss:.0}% loss, {policy:?}",

@@ -33,6 +33,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`par`] | `mdg-par` | deterministic thread-pool parallelism (`MDG_THREADS`) |
+//! | [`obs`] | `mdg-obs` | observability: phase spans, counters, histograms, profile exporters |
 //! | [`geom`] | `mdg-geom` | points, hulls, spatial grids, distance matrices |
 //! | [`net`] | `mdg-net` | deployments, unit-disk graphs, BFS/Dijkstra/components |
 //! | [`energy`] | `mdg-energy` | first-order radio model, batteries, ledgers |
@@ -51,6 +52,7 @@ pub use mdg_cover as cover;
 pub use mdg_energy as energy;
 pub use mdg_geom as geom;
 pub use mdg_net as net;
+pub use mdg_obs as obs;
 pub use mdg_par as par;
 pub use mdg_runtime as runtime;
 pub use mdg_sim as sim;

@@ -232,3 +232,134 @@ fn plans_are_reproducible_across_invocations() {
     ]));
     assert_ne!(a, c);
 }
+
+#[test]
+fn threads_clamp_emits_a_warning_with_requested_and_effective() {
+    let out = mdg(&[
+        "plan",
+        "--n",
+        "30",
+        "--side",
+        "100",
+        "--range",
+        "30",
+        "--threads",
+        "9999",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(
+        err.contains("warning") && err.contains("9999") && err.contains("128"),
+        "clamp warning must name requested and effective counts: {err}"
+    );
+    assert!(err.contains("(128 threads)"), "{err}");
+    // An in-range request stays silent.
+    let ok = mdg(&[
+        "plan",
+        "--n",
+        "30",
+        "--side",
+        "100",
+        "--range",
+        "30",
+        "--threads",
+        "2",
+    ]);
+    assert!(ok.status.success());
+    assert!(!stderr(&ok).contains("warning"), "{}", stderr(&ok));
+}
+
+#[test]
+fn plan_profile_prints_a_phase_tree_on_stderr() {
+    let out = mdg(&[
+        "plan",
+        "--n",
+        "200",
+        "--side",
+        "200",
+        "--range",
+        "30",
+        "--profile",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    for phase in ["plan", "cover", "tour", "assign"] {
+        assert!(err.contains(phase), "missing phase `{phase}` in: {err}");
+    }
+    // Profiling must not leak into the deterministic stdout report.
+    let plain = mdg(&["plan", "--n", "200", "--side", "200", "--range", "30"]);
+    assert_eq!(stdout(&out), stdout(&plain), "profiling changed stdout");
+}
+
+#[test]
+fn plan_profile_json_writes_parseable_jsonl() {
+    let path = tmp("profile.jsonl");
+    let out = mdg(&[
+        "plan",
+        "--n",
+        "150",
+        "--side",
+        "200",
+        "--range",
+        "30",
+        "--profile-json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(!text.is_empty());
+    let mut saw_span = false;
+    for line in text.lines() {
+        let v = serde_json::parse_value(line).expect("every line parses");
+        let kind = match v.get("kind") {
+            Some(serde::Value::Str(s)) => s.clone(),
+            other => panic!("missing kind field: {other:?}"),
+        };
+        assert!(
+            matches!(kind.as_str(), "span" | "counter" | "hist"),
+            "{kind}"
+        );
+        assert!(v.get("path").is_some(), "{line}");
+        saw_span |= kind == "span";
+    }
+    assert!(saw_span, "profile must contain span records");
+}
+
+#[test]
+fn profile_json_without_a_path_is_an_error() {
+    let out = mdg(&[
+        "plan",
+        "--n",
+        "20",
+        "--side",
+        "100",
+        "--range",
+        "30",
+        "--profile-json",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--profile-json needs a file path"));
+}
+
+#[test]
+fn runtime_profile_covers_repair_and_sim_phases() {
+    let out = mdg(&[
+        "runtime",
+        "--n",
+        "80",
+        "--side",
+        "200",
+        "--range",
+        "30",
+        "--rounds",
+        "5",
+        "--deaths",
+        "0.2",
+        "--profile",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    for phase in ["runtime", "round", "repair", "sim_round"] {
+        assert!(err.contains(phase), "missing phase `{phase}` in: {err}");
+    }
+}
