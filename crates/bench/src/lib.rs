@@ -18,6 +18,7 @@ pub mod runner;
 pub mod scale;
 pub mod scale_par;
 pub mod schemes;
+pub mod serve;
 pub mod table;
 
 pub use params::Params;
@@ -45,6 +46,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "faults",
     "scale",
     "scale_par",
+    "serve",
     "profile",
 ];
 
@@ -71,6 +73,7 @@ pub fn run_experiment(id: &str, params: &Params) -> Option<Table> {
         "faults" => Some(faults::faults(params)),
         "scale" => Some(scale::scale(params)),
         "scale_par" => Some(scale_par::scale_par(params)),
+        "serve" => Some(serve::serve(params)),
         "profile" => Some(profile::profile(params)),
         _ => None,
     }

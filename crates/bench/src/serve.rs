@@ -1,0 +1,171 @@
+//! S4 — serving-layer churn benchmark.
+//!
+//! Measures what the `mdg-serve` daemon buys over stateless planning: an
+//! in-process [`Server`] is driven over a real TCP socket through a cold
+//! `plan` followed by a sustained stream of `delta` requests (a trickle of
+//! deaths each round, a sensor added every few rounds), and each point
+//! reports the cold-plan latency against the warm-delta latency
+//! distribution (p50/p99), the speedup, and the sustained request rate.
+//!
+//! Latencies are the *server-side* `elapsed_ms` figures, so the numbers
+//! isolate planning/repair cost from socket round-trips; `req_per_s` is
+//! client-observed wall-clock over the whole churn stream and therefore
+//! includes the protocol overhead.
+//!
+//! Setting `MDG_SERVE_JSON` to a path also writes the table there as JSON
+//! (used to refresh the committed `BENCH_serve.json`).
+
+use crate::params::{Params, Profile};
+use crate::table::Table;
+use mdg_geom::Point;
+use mdg_serve::client::Client;
+use mdg_serve::server::{ServeConfig, Server};
+use std::time::Instant;
+
+/// Transmission range for every sweep point (the paper's `R = 30 m`).
+const RANGE: f64 = 30.0;
+
+/// Field sizes swept per profile. The acceptance target — warm deltas an
+/// order of magnitude under the cold plan — is asserted at the ≥10 000
+/// sensor points by `tests/equivalence.rs` and demonstrated here.
+fn sweep(p: &Params) -> &'static [usize] {
+    match p.profile {
+        Profile::Smoke => &[1_000],
+        Profile::Default => &[2_000, 10_000],
+        Profile::Full => &[2_000, 10_000, 50_000],
+    }
+}
+
+/// Delta rounds per sweep point.
+fn rounds(p: &Params) -> usize {
+    match p.profile {
+        Profile::Smoke => 10,
+        _ => 40,
+    }
+}
+
+/// Percentile of a latency sample (nearest-rank).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// S4: warm-delta latency vs cold-plan latency under sustained churn.
+pub fn serve(p: &Params) -> Table {
+    let mut t = Table::new(
+        "serve_churn",
+        "Serving layer under churn (cold plan vs warm delta, R = 30 m)",
+        &[
+            "n_sensors",
+            "rounds",
+            "cold_ms",
+            "delta_p50_ms",
+            "delta_p99_ms",
+            "speedup_p50",
+            "req_per_s",
+            "full_replans",
+        ],
+    );
+    let server = Server::start(ServeConfig::default()).expect("serve bench: bind failed");
+    let mut client = Client::connect(server.local_addr()).expect("serve bench: connect failed");
+    for &n in sweep(p) {
+        let side = (n as f64).sqrt() * 10.0;
+        let field = format!("s4-{n}");
+        let cold = client
+            .plan_uniform(&field, n as u64, side, p.base_seed, RANGE)
+            .expect("serve bench: plan transport")
+            .expect("serve bench: plan rejected");
+        let r = rounds(p);
+        // Churn: each round kills a deterministic 0.1% scatter of the id
+        // space (re-kills are harmless), and every 4th round also adds a
+        // sensor — exercising the rebuild path so p99 reflects it.
+        let deaths_per_round = (n / 1000).max(2);
+        let mut latencies = Vec::with_capacity(r);
+        let mut full_replans = 0u64;
+        let t_churn = Instant::now();
+        for round in 0..r {
+            let died: Vec<u64> = (0..deaths_per_round)
+                .map(|i| ((round * 7919 + i * 104_729) % n) as u64)
+                .collect();
+            let added = if round % 4 == 3 {
+                let f = (round + 1) as f64 / (r + 1) as f64;
+                vec![Point::new(side * f, side * (1.0 - f))]
+            } else {
+                Vec::new()
+            };
+            let summary = client
+                .delta(&field, died, added, None)
+                .expect("serve bench: delta transport")
+                .expect("serve bench: delta rejected");
+            if summary.mode == "replan" {
+                full_replans += 1;
+            }
+            latencies.push(summary.elapsed_ms);
+        }
+        let churn_secs = t_churn.elapsed().as_secs_f64();
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+        let speedup = cold.elapsed_ms / p50.max(1e-9);
+        let req_per_s = r as f64 / churn_secs.max(1e-9);
+        t.push_row(vec![
+            n as f64,
+            r as f64,
+            cold.elapsed_ms,
+            p50,
+            p99,
+            speedup,
+            req_per_s,
+            full_replans as f64,
+        ]);
+        println!(
+            "  serve: n = {n:>6}  cold {:>8.1} ms  delta p50 {p50:>7.2} ms  p99 {p99:>7.2} ms  \
+             speedup {speedup:>6.1}x  {req_per_s:>6.1} req/s",
+            cold.elapsed_ms
+        );
+    }
+    client
+        .shutdown()
+        .expect("serve bench: shutdown transport")
+        .expect("serve bench: shutdown rejected");
+    server.join();
+    t.notes = "One warm session per point; deltas kill max(2, n/1000) deterministic sensors per \
+               round and add one sensor every 4th round (rebuild path included). Latencies are \
+               server-side planning/repair wall time; req_per_s is client wall-clock over the \
+               churn stream including protocol overhead. speedup_p50 = cold_ms / delta_p50_ms."
+        .into();
+    if let Ok(path) = std::env::var("MDG_SERVE_JSON") {
+        if !path.is_empty() {
+            match serde_json::to_string_pretty(&t) {
+                Ok(json) => {
+                    if let Err(e) = std::fs::write(&path, json + "\n") {
+                        eprintln!("could not write {path}: {e}");
+                    }
+                }
+                Err(e) => eprintln!("could not serialize serve table: {e}"),
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_churn_beats_cold_plan() {
+        let t = serve(&Params::smoke());
+        assert_eq!(t.rows.len(), 1);
+        let speedup = t.col("speedup_p50").unwrap();
+        let p50 = t.col("delta_p50_ms").unwrap();
+        let p99 = t.col("delta_p99_ms").unwrap();
+        for row in &t.rows {
+            assert!(row[speedup] > 1.0, "warm deltas must beat the cold plan");
+            assert!(row[p50] <= row[p99], "percentiles must be ordered");
+        }
+    }
+}

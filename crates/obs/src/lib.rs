@@ -368,6 +368,94 @@ pub fn reset() {
 }
 
 impl Profile {
+    /// The delta recorded between `baseline` and `self` (two [`snapshot`]s
+    /// of the same registry, `baseline` taken first): per-path subtraction
+    /// of span stats, counter values, and histogram buckets.
+    ///
+    /// The registry only ever accumulates, so entries new in `self` pass
+    /// through unchanged and subtraction cannot underflow in correct use;
+    /// mismatched snapshots (a [`reset`] between them, or swapped argument
+    /// order) saturate to zero instead of panicking. Paths whose delta is
+    /// entirely zero are dropped, so diffing two identical snapshots yields
+    /// an empty profile. This is what lets a server report per-window
+    /// metrics without resetting the global registry under concurrent
+    /// recorders.
+    pub fn diff(&self, baseline: &Profile) -> Profile {
+        let base_spans: BTreeMap<&str, &SpanRecord> = baseline
+            .spans
+            .iter()
+            .map(|s| (s.path.as_str(), s))
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .filter_map(|s| {
+                let d = match base_spans.get(s.path.as_str()) {
+                    Some(b) => SpanRecord {
+                        path: s.path.clone(),
+                        calls: s.calls.saturating_sub(b.calls),
+                        wall_nanos: s.wall_nanos.saturating_sub(b.wall_nanos),
+                        items: s.items.saturating_sub(b.items),
+                    },
+                    None => s.clone(),
+                };
+                (d.calls != 0 || d.wall_nanos != 0 || d.items != 0).then_some(d)
+            })
+            .collect();
+        let base_counters: BTreeMap<&str, u64> = baseline
+            .counters
+            .iter()
+            .map(|(p, v)| (p.as_str(), *v))
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(p, v)| {
+                let d = v.saturating_sub(base_counters.get(p.as_str()).copied().unwrap_or(0));
+                (d != 0).then(|| (p.clone(), d))
+            })
+            .collect();
+        let base_hists: BTreeMap<&str, &HistRecord> = baseline
+            .hists
+            .iter()
+            .map(|h| (h.path.as_str(), h))
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .filter_map(|h| {
+                let base: BTreeMap<u32, u64> = match base_hists.get(h.path.as_str()) {
+                    Some(b) => b.buckets.iter().copied().collect(),
+                    None => BTreeMap::new(),
+                };
+                let buckets: Vec<(u32, u64)> = h
+                    .buckets
+                    .iter()
+                    .filter_map(|&(i, n)| {
+                        let d = n.saturating_sub(base.get(&i).copied().unwrap_or(0));
+                        (d != 0).then_some((i, d))
+                    })
+                    .collect();
+                let count: u64 = buckets.iter().map(|&(_, n)| n).sum();
+                (count != 0).then(|| HistRecord {
+                    path: h.path.clone(),
+                    count,
+                    buckets,
+                })
+            })
+            .collect();
+        Profile {
+            spans,
+            counters,
+            hists,
+        }
+    }
+
+    /// Whether the profile contains no spans, counters, or histograms.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.hists.is_empty()
+    }
+
     /// Render the human-readable summary: an indented span tree (wall time,
     /// calls, items, percent of its root phase) followed by counters and
     /// histograms. Intended for stderr via `mdg … --profile`.
@@ -683,6 +771,155 @@ mod tests {
         assert_eq!(json_string("plain"), "\"plain\"");
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn diff_subtracts_span_stats_per_path() {
+        let earlier = Profile {
+            spans: vec![SpanRecord {
+                path: "serve/plan".into(),
+                calls: 2,
+                wall_nanos: 100,
+                items: 10,
+            }],
+            ..Profile::default()
+        };
+        let later = Profile {
+            spans: vec![
+                SpanRecord {
+                    path: "serve/delta".into(),
+                    calls: 1,
+                    wall_nanos: 7,
+                    items: 0,
+                },
+                SpanRecord {
+                    path: "serve/plan".into(),
+                    calls: 5,
+                    wall_nanos: 260,
+                    items: 31,
+                },
+            ],
+            ..Profile::default()
+        };
+        let d = later.diff(&earlier);
+        assert_eq!(d.spans.len(), 2);
+        // New-in-later path passes through unchanged.
+        assert_eq!(d.spans[0].path, "serve/delta");
+        assert_eq!((d.spans[0].calls, d.spans[0].wall_nanos), (1, 7));
+        // Shared path subtracts field-wise.
+        assert_eq!(d.spans[1].path, "serve/plan");
+        assert_eq!(d.spans[1].calls, 3);
+        assert_eq!(d.spans[1].wall_nanos, 160);
+        assert_eq!(d.spans[1].items, 21);
+    }
+
+    #[test]
+    fn diff_of_identical_snapshots_is_empty() {
+        with_clean_obs(|| {
+            {
+                let _s = span("serve");
+            }
+            counter("serve/requests").add(3);
+            histogram("serve/latency").record(9);
+            let a = snapshot();
+            let b = snapshot();
+            assert!(!a.is_empty());
+            assert!(b.diff(&a).is_empty());
+        });
+    }
+
+    #[test]
+    fn diff_drops_unchanged_counters_and_keeps_deltas() {
+        let earlier = Profile {
+            counters: vec![("a".into(), 4), ("b".into(), 9)],
+            ..Profile::default()
+        };
+        let later = Profile {
+            counters: vec![("a".into(), 4), ("b".into(), 12), ("c".into(), 1)],
+            ..Profile::default()
+        };
+        let d = later.diff(&earlier);
+        assert_eq!(d.counters, vec![("b".into(), 3), ("c".into(), 1)]);
+    }
+
+    #[test]
+    fn diff_subtracts_histogram_buckets() {
+        let earlier = Profile {
+            hists: vec![HistRecord {
+                path: "h".into(),
+                count: 3,
+                buckets: vec![(0, 1), (3, 2)],
+            }],
+            ..Profile::default()
+        };
+        let later = Profile {
+            hists: vec![HistRecord {
+                path: "h".into(),
+                count: 7,
+                buckets: vec![(0, 1), (3, 4), (5, 2)],
+            }],
+            ..Profile::default()
+        };
+        let d = later.diff(&earlier);
+        assert_eq!(d.hists.len(), 1);
+        assert_eq!(d.hists[0].count, 4);
+        assert_eq!(d.hists[0].buckets, vec![(3, 2), (5, 2)]);
+    }
+
+    #[test]
+    fn diff_saturates_on_mismatched_snapshots() {
+        // A reset between snapshots (or swapped arguments) makes the
+        // "later" values smaller; the diff clamps at zero, never panics.
+        let bigger = Profile {
+            spans: vec![SpanRecord {
+                path: "p".into(),
+                calls: 9,
+                wall_nanos: 900,
+                items: 9,
+            }],
+            counters: vec![("c".into(), 9)],
+            hists: vec![HistRecord {
+                path: "h".into(),
+                count: 9,
+                buckets: vec![(1, 9)],
+            }],
+        };
+        let smaller = Profile {
+            spans: vec![SpanRecord {
+                path: "p".into(),
+                calls: 1,
+                wall_nanos: 100,
+                items: 1,
+            }],
+            counters: vec![("c".into(), 2)],
+            hists: vec![HistRecord {
+                path: "h".into(),
+                count: 2,
+                buckets: vec![(1, 2)],
+            }],
+        };
+        let d = smaller.diff(&bigger);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn diff_windows_compose_to_the_whole() {
+        with_clean_obs(|| {
+            let c = counter("w/reqs");
+            c.add(2);
+            let t0 = snapshot();
+            c.add(5);
+            let t1 = snapshot();
+            c.add(1);
+            let t2 = snapshot();
+            let w1 = t1.diff(&t0);
+            let w2 = t2.diff(&t1);
+            assert_eq!(w1.counters, vec![("w/reqs".into(), 5)]);
+            assert_eq!(w2.counters, vec![("w/reqs".into(), 1)]);
+            // Window deltas sum to the full-range delta.
+            let full = t2.diff(&t0);
+            assert_eq!(full.counters[0].1, w1.counters[0].1 + w2.counters[0].1);
+        });
     }
 
     #[test]

@@ -98,8 +98,12 @@ pub fn repair_plan(
     assert_eq!(alive.len(), n, "alive mask size");
     let mut report = RepairReport::default();
 
-    // Pristine network: nothing to repair, at zero cost.
-    if alive.iter().all(|&a| a) {
+    // Pristine network with total coverage: nothing to repair, at zero
+    // cost. Both halves matter: a live sensor can be UNASSIGNED without
+    // any death when the caller grew the deployment (sensors added to a
+    // warm serving session) — those orphans go through the same
+    // adopt/re-cover pipeline below.
+    if alive.iter().all(|&a| a) && !plan.assignment.contains(&UNASSIGNED) {
         return report;
     }
 
@@ -416,6 +420,37 @@ mod tests {
         assert_eq!(plan.n_polling_points(), 0);
         plan.validate_live(&net.deployment.sensors, net.range, &alive)
             .unwrap();
+    }
+
+    #[test]
+    fn added_sensors_are_recovered_without_deaths() {
+        let (net, _, mut plan) = setup(100, 9);
+        // Grow the deployment by five sensors (one colocated with an
+        // existing stop so adoption triggers, the rest off in a corner so
+        // new stops must be spliced in).
+        let mut sensors = net.deployment.sensors.clone();
+        sensors.push(plan.polling_points[0].pos);
+        for i in 0..4 {
+            sensors.push(mdg_geom::Point::new(190.0 + i as f64, 190.0));
+        }
+        let grown = Network::build(
+            Deployment {
+                sensors: sensors.clone(),
+                sink: net.deployment.sink,
+                field: net.deployment.field,
+            },
+            net.range,
+        );
+        let inst = CoverageInstance::sensor_sites(&sensors, net.range);
+        plan.assignment.extend([UNASSIGNED; 5]);
+        let alive = vec![true; 105];
+        let rep = repair_plan(&mut plan, &grown, &inst, &alive, &RepairConfig::default());
+        assert!(rep.changed(), "added sensors must trigger repair");
+        assert!(!rep.full_replan);
+        assert_eq!(rep.adopted + rep.recovered, 5);
+        assert!(rep.adopted >= 1, "colocated sensor is adopted for free");
+        // Full (not just live) validation: every sensor covered again.
+        plan.validate(&sensors, grown.range).unwrap();
     }
 
     #[test]

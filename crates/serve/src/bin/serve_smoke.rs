@@ -1,0 +1,154 @@
+//! CI smoke driver for the planning daemon.
+//!
+//! Starts an in-process [`Server`] on an ephemeral port, then exercises the
+//! protocol over a real TCP socket the way a deployment controller would:
+//! `plan` → several `delta` rounds (deterministic victims + additions) →
+//! `get_plan` → `metrics` → `shutdown`, asserting at each step.
+//!
+//! The exit gate is the serving layer's reason to exist: the **median
+//! warm `delta` must beat the cold `plan` on the same field**. Exits 0 on
+//! success, 1 with a diagnostic on any failed check.
+//!
+//! Field size is tuned by `MDG_SMOKE_N` (default 2000) so CI stays fast
+//! while local runs can push harder.
+
+use mdg_geom::Point;
+use mdg_serve::client::Client;
+use mdg_serve::server::{ServeConfig, Server};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn check(cond: bool, msg: &str) {
+    if !cond {
+        fail(msg);
+    }
+}
+
+fn main() {
+    let n: u64 = std::env::var("MDG_SMOKE_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000);
+    let side = 1_000.0;
+    let range = 60.0;
+    let rounds = 8usize;
+
+    let server = Server::start(ServeConfig::default())
+        .unwrap_or_else(|e| fail(&format!("server failed to start: {e}")));
+    let addr = server.local_addr();
+    let mut client =
+        Client::connect(addr).unwrap_or_else(|e| fail(&format!("connect failed: {e}")));
+
+    // Cold plan.
+    let cold = client
+        .plan_uniform("smoke", n, side, 42, range)
+        .unwrap_or_else(|e| fail(&format!("plan transport error: {e}")))
+        .unwrap_or_else(|e| fail(&format!("plan rejected: {} ({})", e.code, e.message)));
+    check(cold.mode == "cold", "first plan must be mode=cold");
+    check(cold.live == n, "cold plan must cover all sensors");
+    check(
+        cold.polling_points > 0,
+        "cold plan must have polling points",
+    );
+    println!(
+        "serve_smoke: cold plan n={} pp={} tour={:.0}m in {:.1}ms",
+        n, cold.polling_points, cold.tour_m, cold.elapsed_ms
+    );
+
+    // Churn rounds: deterministic victims spread across the id space, plus
+    // a sprinkle of added sensors marching along the diagonal.
+    let mut delta_ms: Vec<f64> = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        // One sensor is added per round, so the id space is n + round wide.
+        let next_id = n + round as u64;
+        let died: Vec<u64> = (0..5)
+            .map(|i| (round as u64 * 97 + i * 31) % next_id)
+            .collect();
+        let t = (round as f64 + 1.0) / (rounds as f64 + 1.0);
+        let added = vec![Point::new(side * t, side * (1.0 - t))];
+        let summary = client
+            .delta("smoke", died, added, None)
+            .unwrap_or_else(|e| fail(&format!("delta transport error: {e}")))
+            .unwrap_or_else(|e| fail(&format!("delta rejected: {} ({})", e.code, e.message)));
+        check(summary.ok, "delta response must be ok");
+        check(
+            summary.generation == round as u64 + 1,
+            "delta generations must be monotone",
+        );
+        delta_ms.push(summary.elapsed_ms);
+        println!(
+            "serve_smoke: delta round {} mode={} live={} pp={} in {:.1}ms",
+            round, summary.mode, summary.live, summary.polling_points, summary.elapsed_ms
+        );
+    }
+
+    // The repaired plan must still be a valid, fully-covering plan.
+    let got = client
+        .get_plan("smoke")
+        .unwrap_or_else(|e| fail(&format!("get_plan transport error: {e}")))
+        .unwrap_or_else(|e| fail(&format!("get_plan rejected: {} ({})", e.code, e.message)));
+    check(
+        got.plan.n_polling_points() > 0,
+        "served plan must have polling points",
+    );
+    check(
+        got.generation == rounds as u64,
+        "get_plan generation must match the last delta",
+    );
+
+    // Metrics must reflect the traffic.
+    let metrics = client
+        .metrics()
+        .unwrap_or_else(|e| fail(&format!("metrics transport error: {e}")))
+        .unwrap_or_else(|e| fail(&format!("metrics rejected: {} ({})", e.code, e.message)));
+    check(metrics.sessions.len() == 1, "exactly one session expected");
+    check(
+        metrics.sessions[0].deltas == rounds as u64,
+        "session must count every delta",
+    );
+    check(
+        metrics
+            .counters
+            .iter()
+            .any(|c| c.path == "serve/requests/delta" && c.value == rounds as u64),
+        "obs counters must count delta requests",
+    );
+    check(
+        metrics
+            .hists
+            .iter()
+            .any(|h| h.path == "serve/latency_us/delta" && h.count == rounds as u64),
+        "obs histograms must record per-request delta latency",
+    );
+
+    // The gate: median warm delta beats the cold plan on the same field.
+    let mut sorted = delta_ms.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let p50 = sorted[sorted.len() / 2];
+    println!(
+        "serve_smoke: cold={:.1}ms delta_p50={:.1}ms speedup={:.1}x",
+        cold.elapsed_ms,
+        p50,
+        cold.elapsed_ms / p50.max(1e-9)
+    );
+    check(
+        p50 < cold.elapsed_ms,
+        "median delta latency must beat the cold plan",
+    );
+
+    // Drain.
+    let down = client
+        .shutdown()
+        .unwrap_or_else(|e| fail(&format!("shutdown transport error: {e}")))
+        .unwrap_or_else(|e| fail(&format!("shutdown rejected: {} ({})", e.code, e.message)));
+    check(down.draining, "shutdown must report draining");
+    server.join();
+    check(
+        Client::connect(addr).is_err(),
+        "daemon must stop accepting after drain",
+    );
+    println!("serve_smoke: OK");
+}

@@ -1,0 +1,419 @@
+//! Warm per-field planning sessions.
+//!
+//! A [`FieldSession`] is the reason the daemon exists: it keeps everything
+//! that is expensive to build and slow to change — the deployment, the
+//! unit-disk graph and spatial grid ([`Network`]), the sensor-site
+//! coverage instance, the alive mask, and the current plan — resident
+//! between requests, so a `delta` request runs `mdg-runtime`'s
+//! adopt/splice/cheapest-insertion repair over warm state instead of
+//! planning cold.
+//!
+//! ## Repair-vs-replan decision
+//!
+//! A delta takes one of three paths, in increasing cost:
+//!
+//! 1. **Repair** (the common case): deaths only. Nothing is rebuilt; the
+//!    alive mask flips and [`repair_plan`] patches the tour locally.
+//! 2. **Rebuild + repair**: sensors were added or the range changed. The
+//!    spatial structures (`Network`, [`CoverageInstance`]) are rebuilt for
+//!    the new geometry — `O(n)` spatial work, still far from a cold plan —
+//!    then added sensors enter the plan as orphans (adopted by in-range
+//!    stops, else covered by spliced-in stops) and a range *decrease*
+//!    first unassigns every sensor its stop can no longer reach.
+//! 3. **Full replan**: [`repair_plan`] itself escalates when repair lost
+//!    too much of the tour ([`RepairConfig::full_replan_stop_fraction`]);
+//!    the session reports the delta as `mode: "replan"`.
+//!
+//! Every delta ends with [`GatheringPlan::validate_live`]: an invalid
+//! repaired plan is a hard error, never silently served.
+
+use crate::protocol::SessionInfo;
+use mdg_core::{GatheringPlan, PlannerConfig, ShdgPlanner, UNASSIGNED};
+use mdg_cover::CoverageInstance;
+use mdg_geom::{Aabb, Point};
+use mdg_net::{Deployment, Network};
+use mdg_runtime::{repair_plan, RepairConfig};
+use std::time::Instant;
+
+/// How a delta was resolved (the `mode` field of a `delta` response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaMode {
+    /// The delta required no plan change.
+    Noop,
+    /// Incremental adopt/splice repair.
+    Repair,
+    /// Repair escalated to a full re-plan of the live sub-network.
+    Replan,
+}
+
+impl DeltaMode {
+    /// Wire name of the mode.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeltaMode::Noop => "noop",
+            DeltaMode::Repair => "repair",
+            DeltaMode::Replan => "replan",
+        }
+    }
+}
+
+/// What one [`FieldSession::apply_delta`] call did.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaOutcome {
+    /// Resolution path.
+    pub mode: DeltaMode,
+    /// Wall time spent applying the delta, milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// Cumulative per-session statistics (reported by `metrics`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Wall time of the cold plan that created the session, ms.
+    pub cold_plan_ms: f64,
+    /// Delta requests applied.
+    pub deltas: u64,
+    /// Deltas resolved by incremental repair.
+    pub repairs: u64,
+    /// Deltas that escalated to a full re-plan.
+    pub full_replans: u64,
+}
+
+/// A warm planning session for one named field.
+pub struct FieldSession {
+    /// Session name (the protocol's `field`).
+    pub name: String,
+    net: Network,
+    inst: CoverageInstance,
+    alive: Vec<bool>,
+    plan: GatheringPlan,
+    repair_cfg: RepairConfig,
+    /// Monotonic plan generation (0 = the cold plan).
+    pub generation: u64,
+    /// Cumulative statistics.
+    pub stats: SessionStats,
+}
+
+impl FieldSession {
+    /// Plans `deployment` cold and wraps the result in a warm session.
+    pub fn plan_cold(
+        name: impl Into<String>,
+        deployment: Deployment,
+        range: f64,
+        planner_cfg: PlannerConfig,
+    ) -> Result<Self, String> {
+        let t0 = Instant::now();
+        let _sp = mdg_obs::span("cold_plan");
+        let net = Network::build(deployment, range);
+        let inst = CoverageInstance::sensor_sites(&net.deployment.sensors, range);
+        let plan = ShdgPlanner::with_config(planner_cfg)
+            .plan(&net)
+            .map_err(|e| e.to_string())?;
+        plan.validate(&net.deployment.sensors, range)
+            .map_err(|e| format!("cold plan failed validation: {e}"))?;
+        let alive = vec![true; net.n_sensors()];
+        Ok(FieldSession {
+            name: name.into(),
+            net,
+            inst,
+            alive,
+            plan,
+            repair_cfg: RepairConfig::default(),
+            generation: 0,
+            stats: SessionStats {
+                cold_plan_ms: t0.elapsed().as_secs_f64() * 1e3,
+                ..SessionStats::default()
+            },
+        })
+    }
+
+    /// The session's current plan.
+    pub fn plan(&self) -> &GatheringPlan {
+        &self.plan
+    }
+
+    /// The session's network (deployment + range + graphs).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The session's alive mask.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Number of live sensors.
+    pub fn n_live(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Applies a field mutation — `died` sensor ids, `added` sensor
+    /// positions, and/or a new transmission `range` — and restores full
+    /// live coverage via incremental repair (full-replan fallback).
+    ///
+    /// Errors (out-of-range ids, non-finite positions, invalid range)
+    /// leave the session untouched; repair-level failures surface as
+    /// `Err` and the caller is expected to evict the session.
+    pub fn apply_delta(
+        &mut self,
+        died: &[u64],
+        added: &[Point],
+        new_range: Option<f64>,
+    ) -> Result<DeltaOutcome, String> {
+        let t0 = Instant::now();
+        // Validate everything before mutating anything.
+        let n = self.alive.len();
+        for &s in died {
+            if s as usize >= n {
+                return Err(format!(
+                    "died id {s} out of range (session has {n} sensors)"
+                ));
+            }
+        }
+        for p in added {
+            if !(p.x.is_finite() && p.y.is_finite()) {
+                return Err(format!(
+                    "added sensor at non-finite position ({}, {})",
+                    p.x, p.y
+                ));
+            }
+        }
+        if let Some(r) = new_range {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(format!("range must be a positive number, got {r}"));
+            }
+        }
+        let range_changed = new_range.is_some_and(|r| (r - self.net.range).abs() > 1e-12);
+        if died.is_empty() && added.is_empty() && !range_changed {
+            return Ok(DeltaOutcome {
+                mode: DeltaMode::Noop,
+                elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+
+        for &s in died {
+            self.alive[s as usize] = false;
+        }
+
+        // Structural changes (growth, range change) invalidate the spatial
+        // structures; rebuild them — O(n) grid/UDG work, no planning.
+        if !added.is_empty() || range_changed {
+            let _sp = mdg_obs::span("delta/rebuild");
+            let range = new_range.unwrap_or(self.net.range);
+            let mut sensors = self.net.deployment.sensors.clone();
+            sensors.extend_from_slice(added);
+            let field = added
+                .iter()
+                .fold(self.net.deployment.field, |f, &p| f.union(&Aabb::new(p, p)));
+            self.net = Network::build(
+                Deployment {
+                    sensors,
+                    sink: self.net.deployment.sink,
+                    field,
+                },
+                range,
+            );
+            self.inst = CoverageInstance::sensor_sites(&self.net.deployment.sensors, range);
+            self.alive.resize(self.net.n_sensors(), true);
+            self.plan
+                .assignment
+                .resize(self.net.n_sensors(), UNASSIGNED);
+            if range_changed {
+                self.unassign_out_of_range();
+            }
+        }
+
+        let report = {
+            let _sp = mdg_obs::span("delta/repair");
+            repair_plan(
+                &mut self.plan,
+                &self.net,
+                &self.inst,
+                &self.alive,
+                &self.repair_cfg,
+            )
+        };
+
+        self.plan
+            .validate_live(&self.net.deployment.sensors, self.net.range, &self.alive)
+            .map_err(|e| format!("repaired plan failed validation: {e}"))?;
+
+        self.generation += 1;
+        self.stats.deltas += 1;
+        let mode = if report.full_replan {
+            self.stats.full_replans += 1;
+            DeltaMode::Replan
+        } else if report.changed() {
+            self.stats.repairs += 1;
+            DeltaMode::Repair
+        } else {
+            DeltaMode::Noop
+        };
+        Ok(DeltaOutcome {
+            mode,
+            elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+        })
+    }
+
+    /// After a range change, drops every assignment the new range no
+    /// longer supports; the orphans re-enter coverage through repair.
+    fn unassign_out_of_range(&mut self) {
+        let sensors = &self.net.deployment.sensors;
+        let range = self.net.range;
+        let GatheringPlan {
+            polling_points,
+            assignment,
+            ..
+        } = &mut self.plan;
+        for (k, pp) in polling_points.iter_mut().enumerate() {
+            pp.covered.retain(|&s| {
+                let keep = sensors[s as usize].dist(pp.pos) <= range + 1e-9;
+                if !keep {
+                    debug_assert_eq!(assignment[s as usize], k);
+                    assignment[s as usize] = UNASSIGNED;
+                }
+                keep
+            });
+        }
+    }
+
+    /// Per-session summary for the `metrics` response.
+    pub fn info(&self) -> SessionInfo {
+        SessionInfo {
+            field: self.name.clone(),
+            n_sensors: self.alive.len() as u64,
+            live: self.n_live() as u64,
+            polling_points: self.plan.n_polling_points() as u64,
+            tour_m: self.plan.tour_length,
+            generation: self.generation,
+            cold_plan_ms: self.stats.cold_plan_ms,
+            deltas: self.stats.deltas,
+            repairs: self.stats.repairs,
+            full_replans: self.stats.full_replans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdg_net::DeploymentConfig;
+
+    fn session(n: usize, seed: u64) -> FieldSession {
+        FieldSession::plan_cold(
+            "t",
+            DeploymentConfig::uniform(n, 200.0).generate(seed),
+            30.0,
+            PlannerConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cold_plan_builds_a_valid_session() {
+        let s = session(120, 1);
+        assert_eq!(s.generation, 0);
+        assert_eq!(s.n_live(), 120);
+        assert!(s.plan().n_polling_points() > 0);
+        assert!(s.stats.cold_plan_ms >= 0.0);
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop() {
+        let mut s = session(100, 2);
+        let out = s.apply_delta(&[], &[], None).unwrap();
+        assert_eq!(out.mode, DeltaMode::Noop);
+        assert_eq!(s.generation, 0);
+    }
+
+    #[test]
+    fn deaths_repair_in_place() {
+        let mut s = session(150, 3);
+        let victims: Vec<u64> = s.plan().polling_points[..2]
+            .iter()
+            .map(|pp| pp.candidate as u64)
+            .collect();
+        let out = s.apply_delta(&victims, &[], None).unwrap();
+        assert_eq!(out.mode, DeltaMode::Repair);
+        assert_eq!(s.generation, 1);
+        assert_eq!(s.n_live(), 148);
+        s.plan()
+            .validate_live(&s.net.deployment.sensors, s.net.range, &s.alive)
+            .unwrap();
+    }
+
+    #[test]
+    fn additions_grow_the_session_and_stay_covered() {
+        let mut s = session(100, 4);
+        let added = vec![Point::new(10.0, 10.0), Point::new(195.0, 195.0)];
+        let out = s.apply_delta(&[], &added, None).unwrap();
+        assert_eq!(out.mode, DeltaMode::Repair);
+        assert_eq!(s.alive.len(), 102);
+        assert_eq!(s.n_live(), 102);
+        // Every live sensor (including the new ones) is covered again.
+        s.plan()
+            .validate_live(&s.net.deployment.sensors, s.net.range, &s.alive)
+            .unwrap();
+    }
+
+    #[test]
+    fn range_shrink_recovers_coverage() {
+        let mut s = session(150, 5);
+        let out = s.apply_delta(&[], &[], Some(20.0)).unwrap();
+        assert!(matches!(out.mode, DeltaMode::Repair | DeltaMode::Replan));
+        assert!((s.net.range - 20.0).abs() < 1e-12);
+        s.plan()
+            .validate_live(&s.net.deployment.sensors, s.net.range, &s.alive)
+            .unwrap();
+    }
+
+    #[test]
+    fn mass_death_escalates_to_replan() {
+        let mut s = session(150, 6);
+        let victims: Vec<u64> = s
+            .plan()
+            .polling_points
+            .iter()
+            .map(|pp| pp.candidate as u64)
+            .collect();
+        let out = s.apply_delta(&victims, &[], None).unwrap();
+        assert_eq!(out.mode, DeltaMode::Replan);
+        assert_eq!(s.stats.full_replans, 1);
+        s.plan()
+            .validate_live(&s.net.deployment.sensors, s.net.range, &s.alive)
+            .unwrap();
+    }
+
+    #[test]
+    fn bad_delta_leaves_the_session_untouched() {
+        let mut s = session(80, 7);
+        let before_gen = s.generation;
+        assert!(s.apply_delta(&[80], &[], None).is_err());
+        assert!(s
+            .apply_delta(&[], &[Point::new(f64::NAN, 0.0)], None)
+            .is_err());
+        assert!(s.apply_delta(&[], &[], Some(-1.0)).is_err());
+        assert_eq!(s.generation, before_gen);
+        assert_eq!(s.n_live(), 80);
+    }
+
+    #[test]
+    fn repeated_deltas_keep_generations_monotone() {
+        let mut s = session(200, 8);
+        let mut killed = 0u64;
+        for i in 0..5 {
+            let victim = s
+                .alive
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a)
+                .map(|(i, _)| i as u64)
+                .nth(i * 7)
+                .unwrap();
+            s.apply_delta(&[victim], &[], None).unwrap();
+            killed += 1;
+            assert_eq!(s.generation, killed);
+        }
+        assert_eq!(s.n_live(), 195);
+    }
+}

@@ -1,0 +1,111 @@
+//! Delta-repair equivalence: across many seeded fields, a session that
+//! absorbed churn through `apply_delta` must hold a plan that is (a) valid
+//! on the mutated field — every live sensor single-hop covered, tour
+//! invariants intact — and (b) within a bounded length ratio of planning
+//! the mutated field cold. Bound (a) is correctness; bound (b) pins the
+//! *quality* cost of incremental repair, which is the number a user trades
+//! against the latency win measured in `BENCH_serve.json`.
+
+use mdg_core::{PlannerConfig, ShdgPlanner};
+use mdg_geom::{Aabb, Point};
+use mdg_net::{Deployment, DeploymentConfig, Network};
+use mdg_serve::session::{DeltaMode, FieldSession};
+
+const N: usize = 300;
+const SIDE: f64 = 250.0;
+const RANGE: f64 = 30.0;
+const SEEDS: u64 = 20;
+
+/// Repaired tour may exceed the cold-replan tour by at most this factor.
+/// Repair preserves the surviving tour's structure instead of re-solving
+/// globally, so some slack is inherent; observed ratios sit well below
+/// this (see the printed maximum).
+const MAX_LENGTH_RATIO: f64 = 1.5;
+
+/// Deterministic churn for one seed: kill the anchors of a few stops (the
+/// worst case — those stops go stale), kill a scatter of ordinary ids, add
+/// three sensors near the field edges.
+fn churn(session: &FieldSession, seed: u64) -> (Vec<u64>, Vec<Point>) {
+    let mut died: Vec<u64> = session.plan().polling_points[..3]
+        .iter()
+        .map(|pp| pp.candidate as u64)
+        .collect();
+    died.extend((0..10u64).map(|i| (seed * 7919 + i * 104_729) % N as u64));
+    died.sort_unstable();
+    died.dedup();
+    let t = (seed as f64 + 1.0) / (SEEDS as f64 + 1.0);
+    let added = vec![
+        Point::new(SIDE * t, 5.0),
+        Point::new(5.0, SIDE * (1.0 - t)),
+        Point::new(SIDE - 5.0, SIDE * t),
+    ];
+    (died, added)
+}
+
+/// Plans the session's *current* live field from scratch and returns the
+/// cold tour length — the quality baseline repair is judged against.
+fn cold_replan_tour(session: &FieldSession) -> f64 {
+    let all = &session.network().deployment.sensors;
+    let live: Vec<Point> = all
+        .iter()
+        .zip(session.alive())
+        .filter(|&(_, &a)| a)
+        .map(|(&p, _)| p)
+        .collect();
+    let deployment = Deployment {
+        sensors: live.clone(),
+        sink: session.network().deployment.sink,
+        field: Aabb::from_points(&live).expect("live sensors remain"),
+    };
+    let net = Network::build(deployment, RANGE);
+    let plan = ShdgPlanner::new().plan(&net).expect("mutated field plans");
+    plan.validate(&net.deployment.sensors, RANGE)
+        .expect("cold replan is valid");
+    plan.tour_length
+}
+
+#[test]
+fn repaired_plans_match_cold_replans_across_seeded_fields() {
+    let mut worst: f64 = 0.0;
+    for seed in 0..SEEDS {
+        let deployment = DeploymentConfig::uniform(N, SIDE).generate(seed);
+        let mut session = FieldSession::plan_cold(
+            format!("eq-{seed}"),
+            deployment,
+            RANGE,
+            PlannerConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: cold plan failed: {e}"));
+        let (died, added) = churn(&session, seed);
+        let outcome = session
+            .apply_delta(&died, &added, None)
+            .unwrap_or_else(|e| panic!("seed {seed}: delta failed: {e}"));
+        assert_ne!(
+            outcome.mode,
+            DeltaMode::Noop,
+            "seed {seed}: churn with stop-anchor deaths must change the plan"
+        );
+
+        // (a) Correctness on the mutated field.
+        session
+            .plan()
+            .validate_live(
+                &session.network().deployment.sensors,
+                RANGE,
+                session.alive(),
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: repaired plan invalid: {e}"));
+
+        // (b) Bounded quality loss vs a cold replan of the same field.
+        let cold = cold_replan_tour(&session);
+        let ratio = session.plan().tour_length / cold;
+        assert!(
+            ratio <= MAX_LENGTH_RATIO,
+            "seed {seed}: repaired tour {:.1} m is {ratio:.3}x the cold replan {cold:.1} m \
+             (bound {MAX_LENGTH_RATIO})",
+            session.plan().tour_length
+        );
+        worst = worst.max(ratio);
+    }
+    println!("worst repaired/cold tour ratio over {SEEDS} fields: {worst:.3}");
+}

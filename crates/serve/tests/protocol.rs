@@ -1,0 +1,216 @@
+//! Protocol robustness: every way a client can misbehave must produce a
+//! structured error response or a clean close — never a dead daemon, and
+//! never a poisoned session table. Each test drives a real server over
+//! real sockets.
+
+use mdg_serve::client::Client;
+use mdg_serve::protocol::{Ack, ErrorResponse, PlanSummary};
+use mdg_serve::server::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start(cfg: ServeConfig) -> Server {
+    Server::start(cfg).expect("server starts")
+}
+
+fn error_code(response: &str) -> String {
+    let err: ErrorResponse = serde_json::from_str(response)
+        .unwrap_or_else(|e| panic!("not an error response: {response} ({e})"));
+    assert!(!err.ok);
+    err.error.code
+}
+
+/// Creates a small session the poisoning checks can probe afterwards.
+fn seed_session(client: &mut Client, name: &str) -> PlanSummary {
+    client
+        .plan_uniform(name, 150, 200.0, 9, 30.0)
+        .expect("transport")
+        .expect("plan accepted")
+}
+
+#[test]
+fn truncated_json_gets_a_bad_json_error() {
+    let server = start(ServeConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let resp = client.send_raw("{\"cmd\":\"plan\",\"field\":").unwrap();
+    assert_eq!(error_code(&resp), "bad_json");
+    // The connection survives a parse error.
+    let resp = client.send_raw("{\"cmd\":\"metrics\"}").unwrap();
+    let ack: Ack = serde_json::from_str(&resp).unwrap();
+    assert!(ack.ok);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn unknown_cmd_and_missing_cmd_are_structured_errors() {
+    let server = start(ServeConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let resp = client.send_raw("{\"cmd\":\"frobnicate\"}").unwrap();
+    assert_eq!(error_code(&resp), "unknown_cmd");
+    let resp = client.send_raw("{\"field\":\"x\"}").unwrap();
+    assert_eq!(error_code(&resp), "bad_request");
+    // Wrong JSON *type* for a field is bad_json, not a crash.
+    let resp = client
+        .send_raw("{\"cmd\":\"plan\",\"field\":\"x\",\"n\":\"many\"}")
+        .unwrap();
+    assert_eq!(error_code(&resp), "bad_json");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn oversized_payload_is_rejected_and_the_connection_closed() {
+    let server = start(ServeConfig {
+        max_line_bytes: 4096,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let huge = format!(
+        "{{\"cmd\":\"plan\",\"field\":\"{}\"}}",
+        "x".repeat(16 * 1024)
+    );
+    let resp = client.send_raw(&huge).unwrap();
+    assert_eq!(error_code(&resp), "oversized");
+    // The server closes the connection after an oversized line (it cannot
+    // trust the stream's framing any more): the next request sees EOF.
+    let after = client.send_raw("{\"cmd\":\"metrics\"}");
+    assert!(after.is_err(), "connection must be closed, got {after:?}");
+    // The daemon itself is fine.
+    let mut fresh = Client::connect(server.local_addr()).unwrap();
+    assert!(fresh.metrics().unwrap().is_ok());
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn mid_request_disconnect_leaves_the_daemon_serving() {
+    let server = start(ServeConfig::default());
+    // Open a raw socket, send half a request, and vanish.
+    {
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.write_all(b"{\"cmd\":\"plan\",\"field\":\"half").unwrap();
+        // Dropped here without a newline: the server's reader sees EOF
+        // mid-line and must simply clean up.
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let summary = seed_session(&mut client, "alive");
+    assert_eq!(summary.mode, "cold");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn garbage_requests_do_not_poison_existing_sessions() {
+    let server = start(ServeConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let cold = seed_session(&mut client, "victim");
+
+    // A barrage of malformed traffic on a second connection.
+    let mut attacker = Client::connect(server.local_addr()).unwrap();
+    for garbage in [
+        "not json at all",
+        "{\"cmd\":\"delta\",\"field\":\"victim\",\"died\":[999999]}",
+        "{\"cmd\":\"delta\",\"field\":\"victim\",\"range\":-5}",
+        "{\"cmd\":\"delta\",\"field\":\"no-such-session\"}",
+        "{\"cmd\":\"plan\",\"field\":\"victim2\",\"n\":0,\"side\":100,\"range\":30}",
+        "[1,2,3]",
+        "\"just a string\"",
+    ] {
+        let resp = attacker.send_raw(garbage).unwrap();
+        let ack: Ack = serde_json::from_str(&resp).unwrap();
+        assert!(!ack.ok, "garbage must be rejected: {garbage} -> {resp}");
+    }
+
+    // The existing session still answers and still repairs correctly.
+    let patched = client
+        .delta("victim", vec![0, 1], vec![], None)
+        .unwrap()
+        .unwrap();
+    assert_eq!(patched.generation, cold.generation + 1);
+    assert_eq!(patched.live, cold.live - 2);
+    let got = client.get_plan("victim").unwrap().unwrap();
+    assert_eq!(got.generation, patched.generation);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn lru_eviction_bounds_the_session_table() {
+    let server = start(ServeConfig {
+        max_sessions: 2,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    seed_session(&mut client, "a");
+    seed_session(&mut client, "b");
+    // Touch `a` so `b` is the LRU victim when `c` arrives.
+    client.get_plan("a").unwrap().unwrap();
+    seed_session(&mut client, "c");
+    let metrics = client.metrics().unwrap().unwrap();
+    assert_eq!(metrics.sessions.len(), 2);
+    assert_eq!(metrics.evictions, 1);
+    let names: Vec<&str> = metrics.sessions.iter().map(|s| s.field.as_str()).collect();
+    assert!(names.contains(&"a") && names.contains(&"c"), "{names:?}");
+    let err = client.get_plan("b").unwrap().unwrap_err();
+    assert_eq!(err.code, "unknown_session");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_drains_and_stops_accepting() {
+    let server = start(ServeConfig::default());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    seed_session(&mut client, "s");
+    let down = client.shutdown().unwrap().unwrap();
+    assert!(down.draining);
+    server.join();
+    // After the drain the listener is gone; a fresh connection must fail
+    // (or be refused immediately on read).
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut s) => {
+            s.set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            s.write_all(b"{\"cmd\":\"metrics\"}\n").unwrap();
+            let mut buf = [0u8; 1];
+            assert!(
+                !matches!(s.read(&mut buf), Ok(n) if n > 0),
+                "drained daemon must not answer"
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_get_isolated_sessions() {
+    let server = start(ServeConfig::default());
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let name = format!("conc-{i}");
+                let cold = c.plan_uniform(&name, 120, 180.0, i, 25.0).unwrap().unwrap();
+                let patched = c
+                    .delta(&name, vec![i, i + 1], vec![], None)
+                    .unwrap()
+                    .unwrap();
+                assert_eq!(patched.generation, 1);
+                assert_eq!(patched.live, cold.live - 2);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let mut c = Client::connect(addr).unwrap();
+    let metrics = c.metrics().unwrap().unwrap();
+    assert_eq!(metrics.sessions.len(), 4);
+    server.shutdown();
+    server.join();
+}

@@ -12,6 +12,8 @@
 //!              [--battery JOULES] [--trace out.jsonl] [--profile] [--profile-json PATH]
 //! mdg render   --bundle bundle.json --out figure.svg [--edges]
 //! mdg stats    --n 200 --side 200 --range 30 [--seed 42]
+//! mdg serve    --listen 127.0.0.1:7717 [--max-sessions 64] [--threads T]
+//! mdg serve    --connect 127.0.0.1:7717 --request '{"cmd":"metrics"}'
 //! ```
 //!
 //! `plan` writes a self-contained JSON *bundle* (deployment + range +
@@ -53,6 +55,7 @@ fn main() -> ExitCode {
         "render" => cmd_render(&flags),
         "stats" => cmd_stats(&flags),
         "export-ilp" => cmd_export_ilp(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -79,6 +82,8 @@ const USAGE: &str = "usage:
   mdg render   --bundle bundle.json --out figure.svg [--edges]
   mdg stats    --n N --side METERS --range METERS [--seed S]
   mdg export-ilp --n N --side METERS --range METERS [--seed S] --out model.lp
+  mdg serve    --listen ADDR[:PORT] [--max-sessions N] [--max-line-mb MB] [--threads T]
+  mdg serve    --connect ADDR:PORT --request JSON
 
 --threads T sets the planner worker-thread count (0 or omitted = auto:
 MDG_THREADS env, else all cores). Plans are bit-identical at any T.
@@ -461,6 +466,57 @@ fn cmd_export_ilp(flags: &Flags) -> Result<(), String> {
         lp.lines().count()
     );
     Ok(())
+}
+
+/// `mdg serve`: either run the planning daemon in the foreground
+/// (`--listen`) or act as a one-shot protocol client (`--connect` +
+/// `--request`), which makes the daemon scriptable from CI and shells
+/// without another binary.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    match (flags.get("listen"), flags.get("connect")) {
+        (Some(addr), None) => {
+            if addr.is_empty() {
+                return Err("--listen needs an address, e.g. 127.0.0.1:7717".into());
+            }
+            let threads = apply_threads(flags)?;
+            let cfg = mobile_collectors::serve::ServeConfig {
+                addr: addr.clone(),
+                max_sessions: opt(flags, "max-sessions", 64)?,
+                max_line_bytes: opt(flags, "max-line-mb", 32usize)? << 20,
+                ..mobile_collectors::serve::ServeConfig::default()
+            };
+            let server = mobile_collectors::serve::Server::start(cfg)
+                .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+            // The address line goes to stdout (scripts parse it to find an
+            // ephemeral port); everything else is stderr.
+            println!("listening on {}", server.local_addr());
+            eprintln!("  {threads} planner thread(s); send {{\"cmd\":\"shutdown\"}} to stop");
+            server.join();
+            eprintln!("drained; bye");
+            Ok(())
+        }
+        (None, Some(addr)) => {
+            let request = flags
+                .get("request")
+                .filter(|r| !r.is_empty())
+                .ok_or("--connect needs --request JSON")?;
+            let mut client = mobile_collectors::serve::Client::connect(addr)
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let response = client
+                .send_raw(request)
+                .map_err(|e| format!("request failed: {e}"))?;
+            println!("{response}");
+            // Exit nonzero on a server-side error so shell pipelines fail.
+            let ack: mobile_collectors::serve::protocol::Ack = serde_json::from_str(&response)
+                .map_err(|e| format!("unparseable response: {e}"))?;
+            if ack.ok {
+                Ok(())
+            } else {
+                Err("server returned an error response".into())
+            }
+        }
+        _ => Err("serve needs exactly one of --listen or --connect".into()),
+    }
 }
 
 fn cmd_stats(flags: &Flags) -> Result<(), String> {

@@ -43,6 +43,7 @@
 //! | [`sim`] | `mdg-sim` | discrete-event simulator, lifetime studies |
 //! | [`baselines`] | `mdg-baselines` | visit-all, multi-hop routing, CME, direct |
 //! | [`runtime`] | `mdg-runtime` | online re-planning: fault injection, plan repair, traces |
+//! | [`serve`] | `mdg-serve` | planning-as-a-service daemon: warm sessions, incremental replans over TCP |
 
 pub mod render;
 
@@ -55,6 +56,7 @@ pub use mdg_net as net;
 pub use mdg_obs as obs;
 pub use mdg_par as par;
 pub use mdg_runtime as runtime;
+pub use mdg_serve as serve;
 pub use mdg_sim as sim;
 pub use mdg_tour as tour;
 

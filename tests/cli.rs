@@ -363,3 +363,59 @@ fn runtime_profile_covers_repair_and_sim_phases() {
         assert!(err.contains(phase), "missing phase `{phase}` in: {err}");
     }
 }
+
+/// Full daemon round trip through the binary: start `serve --listen` on an
+/// ephemeral port, drive plan → delta → metrics → shutdown with `serve
+/// --connect` one-shots, and check the daemon exits cleanly.
+#[test]
+fn serve_daemon_round_trip_over_a_socket() {
+    use std::io::BufRead;
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_mdg"))
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("daemon starts");
+    let mut first_line = String::new();
+    std::io::BufReader::new(daemon.stdout.take().expect("stdout piped"))
+        .read_line(&mut first_line)
+        .expect("daemon prints its address");
+    let addr = first_line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {first_line}"))
+        .to_string();
+
+    let one_shot = |request: &str| -> (Output, String) {
+        let out = mdg(&["serve", "--connect", &addr, "--request", request]);
+        let text = stdout(&out);
+        (out, text)
+    };
+
+    let (out, text) =
+        one_shot(r#"{"cmd":"plan","field":"cli","n":200,"side":200,"range":30,"seed":5}"#);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(text.contains("\"mode\":\"cold\""), "{text}");
+
+    let (out, text) = one_shot(r#"{"cmd":"delta","field":"cli","died":[0,1,2]}"#);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(text.contains("\"generation\":1"), "{text}");
+
+    let (out, text) = one_shot(r#"{"cmd":"metrics"}"#);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(text.contains("\"sessions\""), "{text}");
+    assert!(text.contains("\"cli\""), "{text}");
+
+    // A malformed request errors without killing the daemon (exit 1 from
+    // the client, but the daemon must still answer afterwards).
+    let (out, text) = one_shot("{not json");
+    assert!(!out.status.success());
+    assert!(text.contains("bad_json"), "{text}");
+
+    let (out, text) = one_shot(r#"{"cmd":"shutdown"}"#);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(text.contains("\"draining\":true"), "{text}");
+
+    let status = daemon.wait().expect("daemon exits");
+    assert!(status.success(), "daemon must drain cleanly: {status:?}");
+}
