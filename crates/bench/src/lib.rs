@@ -16,6 +16,7 @@ pub mod params;
 pub mod profile;
 pub mod runner;
 pub mod scale;
+pub mod scale_hier;
 pub mod scale_par;
 pub mod schemes;
 pub mod serve;
@@ -45,6 +46,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "a3",
     "faults",
     "scale",
+    "scale_hier",
     "scale_par",
     "serve",
     "profile",
@@ -72,6 +74,7 @@ pub fn run_experiment(id: &str, params: &Params) -> Option<Table> {
         "a3" => Some(figures::a3(params)),
         "faults" => Some(faults::faults(params)),
         "scale" => Some(scale::scale(params)),
+        "scale_hier" => Some(scale_hier::scale_hier(params)),
         "scale_par" => Some(scale_par::scale_par(params)),
         "serve" => Some(serve::serve(params)),
         "profile" => Some(profile::profile(params)),

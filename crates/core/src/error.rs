@@ -19,6 +19,10 @@ pub enum PlanError {
     /// The exact solver exhausted its search budget without proving
     /// optimality.
     ExactBudgetExhausted,
+    /// The requested configuration is not supported by this planning
+    /// mode (e.g. grid candidates under hierarchical planning, whose
+    /// per-tile instances are sensor-site by construction).
+    Unsupported(String),
 }
 
 impl fmt::Display for PlanError {
@@ -39,6 +43,9 @@ impl fmt::Display for PlanError {
             }
             PlanError::ExactBudgetExhausted => {
                 write!(f, "exact solver exhausted its search budget")
+            }
+            PlanError::Unsupported(what) => {
+                write!(f, "unsupported configuration: {what}")
             }
         }
     }

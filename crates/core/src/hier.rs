@@ -1,0 +1,747 @@
+//! Hierarchical (tiled) SHDG planning for very large fields.
+//!
+//! The flat planner's covering stage is superlinear in the sensor count —
+//! the coverage instance alone is `O(n²)` bits — which walls it off
+//! somewhere past 100k sensors. The standard escape hatch in the
+//! mobile-sink literature is spatial decomposition: partition the field
+//! geometrically, solve each region as an independent sub-problem, and
+//! join the regional tours. This module implements that pipeline:
+//!
+//! 1. **Tiling** — [`mdg_geom::Tiling`] buckets the sensors into square
+//!    tiles sized so each holds roughly [`HierConfig::target_per_tile`]
+//!    sensors (or explicitly via [`HierConfig::tile_cells`]).
+//! 2. **Per-tile planning** — every non-empty tile runs the flat
+//!    pipeline (cover → prune → tour) on a *tile-local* sensor-site
+//!    instance, in parallel across tiles on `mdg-par`. Costs are
+//!    quadratic in the tile, not the field.
+//! 3. **Stitching** — sub-tours are concatenated in serpentine tile
+//!    order: each is opened at its longest edge and oriented to shorten
+//!    the seam; tiles with fewer than three stops are spliced into the
+//!    growing cycle via [`mdg_tour::cheapest_insertion_position`].
+//! 4. **Touch-up** — a candidate-list 2-opt seeded *only at the seam
+//!    vertices* ([`mdg_tour::two_opt_neighbors_seeded`]) repairs
+//!    cross-tile crossings at a cost proportional to the seams.
+//!
+//! ## Determinism
+//!
+//! Hierarchical plans are bit-identical at any thread count. The tile
+//! fan-out uses the order-preserving `mdg_par::par_map`, nested parallel
+//! calls inside a tile fall back inline (so per-tile arithmetic never
+//! depends on sibling tiles), and stitching consumes the tile results in
+//! serpentine (index-derived) order with strict-inequality tie-breaks.
+//!
+//! ## Quality
+//!
+//! The price of locality is a slightly longer tour: each tile is toured
+//! in isolation, so only the seams are globally optimized. The S5 sweep
+//! (`BENCH_scale_hier.json`) gates the regression at ≤ 1.25× the flat
+//! tour on fields both planners can solve.
+
+use crate::error::PlanError;
+use crate::plan::{GatheringPlan, PollingPoint};
+use crate::planner::{CandidateMode, CoveringStrategy, PlannerConfig};
+use crate::tour_aware::{tour_aware_cover, TourAwareConfig};
+use mdg_cover::{capacitated_greedy_cover, greedy_cover, prune_cover, CoverageInstance};
+use mdg_geom::{Point, Tiling};
+use mdg_net::Network;
+use mdg_tour::{
+    cheapest_insertion_position, improve, improve_neighbors, two_opt_neighbors_seeded,
+    ImproveConfig, MatrixCost, NeighborLists, Tour,
+};
+
+/// Stop count (including the sink) above which a tile's tour switches
+/// from the dense matrix pipeline to neighbor-list local search — same
+/// threshold as the flat planner.
+const DENSE_TOUR_LIMIT: usize = 512;
+
+/// Neighbors per city in the seam touch-up's candidate lists. Seam
+/// repairs are local, so a short list suffices.
+const TOUCH_UP_NEIGHBORS: usize = 8;
+
+/// Hierarchical planner configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierConfig {
+    /// Per-tile planning configuration. `candidates` must be
+    /// [`CandidateMode::SensorSites`]; tile instances are sensor-site by
+    /// construction, which also guarantees per-tile feasibility.
+    pub base: PlannerConfig,
+    /// Explicit tile side, in multiples of the transmission range
+    /// (`Some(8.0)` with a 30 m range gives 240 m tiles). `None` sizes
+    /// tiles automatically from the field density so each holds about
+    /// [`HierConfig::target_per_tile`] sensors.
+    pub tile_cells: Option<f64>,
+    /// Auto-sizing target: sensors per tile. Small enough that a tile
+    /// plans in milliseconds, large enough that seams are rare.
+    pub target_per_tile: usize,
+    /// Run the seam-seeded 2-opt touch-up after stitching.
+    pub touch_up: bool,
+}
+
+impl Default for HierConfig {
+    fn default() -> Self {
+        HierConfig {
+            base: PlannerConfig::default(),
+            tile_cells: None,
+            target_per_tile: 2048,
+            touch_up: true,
+        }
+    }
+}
+
+/// How a hierarchical plan came together, for logs and benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierStats {
+    /// Total tiles in the lattice (including empty ones).
+    pub n_tiles: usize,
+    /// Tiles that contained at least one sensor (and thus a sub-plan).
+    pub n_occupied: usize,
+    /// Stops from degenerate (< 3 stop) tiles spliced individually.
+    pub spliced_stops: usize,
+    /// Effective tile side in meters.
+    pub tile_side: f64,
+}
+
+/// The hierarchical tiled planner. See the module docs for the pipeline.
+///
+/// ```
+/// use mdg_core::hier::HierPlanner;
+/// use mdg_net::{DeploymentConfig, Network};
+///
+/// let net = Network::build(DeploymentConfig::uniform(400, 400.0).generate(7), 30.0);
+/// let plan = HierPlanner::new().plan(&net).unwrap();
+/// assert!(plan.validate(&net.deployment.sensors, net.range).is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HierPlanner {
+    config: HierConfig,
+}
+
+/// A planned tile: its stops in cycle order plus the assignment choices,
+/// all in *global* sensor ids.
+struct TilePlan {
+    /// Stop positions, cycle order.
+    stops: Vec<Point>,
+    /// Global sensor id of each stop, parallel to `stops`.
+    cands: Vec<u32>,
+    /// For each tile sensor (subset order): global sensor id of the stop
+    /// it uploads to.
+    chosen: Vec<u32>,
+}
+
+impl HierPlanner {
+    /// Planner with the default configuration.
+    pub fn new() -> Self {
+        HierPlanner::default()
+    }
+
+    /// Planner with an explicit configuration.
+    pub fn with_config(config: HierConfig) -> Self {
+        HierPlanner { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HierConfig {
+        &self.config
+    }
+
+    /// Plans a single-collector gathering tour hierarchically.
+    pub fn plan(&self, net: &Network) -> Result<GatheringPlan, PlanError> {
+        self.plan_with_stats(net).map(|(plan, _)| plan)
+    }
+
+    /// Like [`HierPlanner::plan`], also reporting tiling statistics.
+    pub fn plan_with_stats(&self, net: &Network) -> Result<(GatheringPlan, HierStats), PlanError> {
+        let cfg = &self.config;
+        if let CandidateMode::Grid { .. } = cfg.base.candidates {
+            return Err(PlanError::Unsupported(
+                "hierarchical planning requires sensor-site candidates \
+                 (per-tile instances are sensor-site by construction)"
+                    .into(),
+            ));
+        }
+        let sensors = &net.deployment.sensors;
+        let sink = net.deployment.sink;
+        let range = net.range;
+        let n = sensors.len();
+        let mut sp_hier = mdg_obs::span("hier");
+        sp_hier.add_items(n as u64);
+        if n == 0 {
+            let stats = HierStats {
+                n_tiles: 0,
+                n_occupied: 0,
+                spliced_stops: 0,
+                tile_side: 0.0,
+            };
+            return Ok((GatheringPlan::new(sink, Vec::new(), Vec::new()), stats));
+        }
+
+        // 1. Tiling.
+        let side = self.tile_side(sensors, range)?;
+        let (tiling, tiles) = {
+            let _sp = mdg_obs::span("tiling");
+            let tiling = Tiling::build(sensors, side);
+            let tiles: Vec<usize> = tiling.non_empty().collect();
+            (tiling, tiles)
+        };
+        mdg_obs::counter("hier/tiles").add(tiles.len() as u64);
+
+        // 2. Per-tile planning, fanned out across tiles. Each tile is a
+        //    pure function of its own sensors; `par_map` preserves order
+        //    and nested parallel calls inside a tile run inline, so the
+        //    result vector is bit-identical at any thread count.
+        let tile_plans: Vec<TilePlan> = {
+            let mut sp = mdg_obs::span("tiles");
+            sp.add_items(tiles.len() as u64);
+            let base = cfg.base;
+            mdg_par::par_map(tiles.len(), |k| {
+                let t = tiles[k];
+                plan_tile(
+                    sensors,
+                    tiling.points_in(t),
+                    range,
+                    tiling.tile_center(t),
+                    &base,
+                )
+            })
+        };
+
+        // Assignment choices scatter into a field-wide table (tiles
+        // partition the sensors, so each slot is written exactly once).
+        let mut chosen = vec![u32::MAX; n];
+        for (k, tp) in tile_plans.iter().enumerate() {
+            for (i, &g) in tiling.points_in(tiles[k]).iter().enumerate() {
+                chosen[g as usize] = tp.chosen[i];
+            }
+        }
+
+        // 3. Stitch sub-tours into one depot-anchored cycle.
+        let (mut cycle_pts, mut cands, seam, spliced) = {
+            let _sp = mdg_obs::span("stitch");
+            stitch(sink, &tile_plans)
+        };
+        mdg_obs::counter("hier/spliced_stops").add(spliced as u64);
+
+        // 4. Seam-seeded 2-opt touch-up: only cross-tile edges (and what
+        //    repairing them exposes) are revisited.
+        if cfg.touch_up && cfg.base.improve_passes > 0 && cycle_pts.len() >= 5 {
+            let mut sp = mdg_obs::span("touch_up");
+            sp.add_items(cycle_pts.len() as u64);
+            let nl = NeighborLists::build(&cycle_pts, TOUCH_UP_NEIGHBORS);
+            let mut seeds: Vec<usize> = vec![0]; // the sink joins two seams
+            seeds.extend(
+                seam.iter()
+                    .enumerate()
+                    .filter_map(|(k, &s)| s.then_some(k + 1)),
+            );
+            let tour = two_opt_neighbors_seeded(
+                &cycle_pts,
+                Tour::identity(cycle_pts.len()),
+                &nl,
+                1e-9,
+                &seeds,
+            );
+            let order = tour.order();
+            debug_assert_eq!(order[0], 0, "normalized tours lead with the depot");
+            cycle_pts = order.iter().map(|&i| cycle_pts[i]).collect();
+            cands = order[1..].iter().map(|&i| cands[i - 1]).collect();
+        }
+
+        // 5. Final assignment: map each sensor's chosen stop to its tour
+        //    position and materialize the plan.
+        let plan = {
+            let _sp = mdg_obs::span("assign");
+            let mut pp_of = vec![u32::MAX; n];
+            for (k, &c) in cands.iter().enumerate() {
+                pp_of[c as usize] = k as u32;
+            }
+            let assignment: Vec<usize> =
+                chosen.iter().map(|&c| pp_of[c as usize] as usize).collect();
+            let mut covered: Vec<Vec<u32>> = vec![Vec::new(); cands.len()];
+            for (s, &k) in assignment.iter().enumerate() {
+                covered[k].push(s as u32);
+            }
+            let polling_points: Vec<PollingPoint> = cands
+                .iter()
+                .zip(covered)
+                .map(|(&c, cov)| PollingPoint {
+                    pos: sensors[c as usize],
+                    candidate: c as usize,
+                    covered: cov,
+                })
+                .collect();
+            GatheringPlan::new(sink, polling_points, assignment)
+        };
+        let stats = HierStats {
+            n_tiles: tiling.n_tiles(),
+            n_occupied: tiles.len(),
+            spliced_stops: spliced,
+            tile_side: tiling.side(),
+        };
+        debug_assert!((plan.tour_length - mdg_geom::closed_tour_length(&cycle_pts)).abs() < 1e-6);
+        Ok((plan, stats))
+    }
+
+    /// Resolves the tile side in meters: explicit `tile_cells × range`,
+    /// or auto-sized so the expected tile population is
+    /// `target_per_tile`. Auto tiles never drop below `2 × range` —
+    /// tiles narrower than a coverage disk fragment the cover badly.
+    fn tile_side(&self, sensors: &[Point], range: f64) -> Result<f64, PlanError> {
+        if let Some(cells) = self.config.tile_cells {
+            if !(cells > 0.0 && cells.is_finite()) {
+                return Err(PlanError::Unsupported(format!(
+                    "tile size must be a positive finite number of range-cells, got {cells}"
+                )));
+            }
+            return Ok(cells * range);
+        }
+        let bb = mdg_geom::Aabb::from_points(sensors).expect("n > 0 checked by caller");
+        let area = (bb.width() * bb.height()).max(1e-12);
+        let target = self.config.target_per_tile.max(1) as f64;
+        let side = (target * area / sensors.len() as f64).sqrt();
+        Ok(side.max(2.0 * range))
+    }
+}
+
+/// Convenience: hierarchical plan with the default configuration.
+pub fn plan_hier(net: &Network) -> Result<GatheringPlan, PlanError> {
+    HierPlanner::new().plan(net)
+}
+
+/// Plans one tile: local cover → prune → cycle → assignment, mirroring
+/// the flat pipeline on a subset instance anchored at the tile center.
+fn plan_tile(
+    sensors: &[Point],
+    subset: &[u32],
+    range: f64,
+    anchor: Point,
+    base: &PlannerConfig,
+) -> TilePlan {
+    let mut sp = mdg_obs::span("tile");
+    sp.add_items(subset.len() as u64);
+    let inst = CoverageInstance::sensor_sites_subset(sensors, subset, range);
+
+    // Cover. Sensor-site instances are always feasible (each sensor
+    // covers itself), so the selection never fails. Ties break toward
+    // the tile center — the local stand-in for the flat planner's sink.
+    let (mut selected, cap_assign): (Vec<usize>, Option<Vec<usize>>) =
+        if let Some(cap) = base.max_sensors_per_pp {
+            let cover =
+                capacitated_greedy_cover(&inst, cap, |c| inst.candidates[c].pos.dist_sq(anchor))
+                    .expect("sensor-site candidates are always feasible");
+            (cover.selected, Some(cover.assignment))
+        } else {
+            let sel = match base.covering {
+                CoveringStrategy::Greedy => {
+                    greedy_cover(&inst, |c| inst.candidates[c].pos.dist_sq(anchor))
+                        .expect("sensor-site candidates are always feasible")
+                }
+                CoveringStrategy::TourAware { insertion_weight } => {
+                    let cfg = TourAwareConfig {
+                        insertion_weight,
+                        ..TourAwareConfig::default()
+                    };
+                    tour_aware_cover(&inst, anchor, &cfg)
+                        .expect("sensor-site candidates are always feasible")
+                        .selected
+                }
+            };
+            (sel, None)
+        };
+
+    // Prune (uncapacitated only, like the flat planner), prioritized by
+    // each stop's removal gain in a preliminary tile cycle.
+    if cap_assign.is_none() && base.prune && selected.len() > 1 {
+        let prelim = cycle_over(&inst, &selected, 0);
+        let pts: Vec<Point> = prelim.iter().map(|&c| inst.candidates[c].pos).collect();
+        let m = pts.len();
+        let order_of: std::collections::HashMap<usize, usize> =
+            prelim.iter().enumerate().map(|(k, &c)| (c, k)).collect();
+        let gains: Vec<f64> = (0..m)
+            .map(|i| {
+                let prev = pts[(i + m - 1) % m];
+                let next = pts[(i + 1) % m];
+                prev.dist(pts[i]) + pts[i].dist(next) - prev.dist(next)
+            })
+            .collect();
+        selected = prune_cover(&inst, &selected, |c| {
+            order_of.get(&c).map_or(0.0, |&k| gains[k])
+        });
+    }
+
+    // Final cycle over the tile's stops.
+    let cycle_sel = cycle_over(&inst, &selected, base.improve_passes);
+
+    // Tile-local assignment, remapped to cycle order.
+    let assign: Vec<usize> = match cap_assign {
+        Some(a) => {
+            // `a[t]` indexes the pre-tour selection; the tour reordered it.
+            let pos_of: std::collections::HashMap<usize, usize> =
+                cycle_sel.iter().enumerate().map(|(k, &c)| (c, k)).collect();
+            a.iter().map(|&k| pos_of[&selected[k]]).collect()
+        }
+        None => inst.assign(&cycle_sel).expect("selection is a cover"),
+    };
+    TilePlan {
+        stops: cycle_sel.iter().map(|&c| inst.candidates[c].pos).collect(),
+        cands: cycle_sel.iter().map(|&c| subset[c]).collect(),
+        chosen: assign.iter().map(|&k| subset[cycle_sel[k]]).collect(),
+    }
+}
+
+/// Cycle over the selected tile candidates (no depot), in the same
+/// dense/sparse regimes as the flat planner. Returns candidate ids in
+/// cycle order, rotated so `selected[0]` leads (deterministic).
+fn cycle_over(inst: &CoverageInstance, selected: &[usize], improve_passes: usize) -> Vec<usize> {
+    let m = selected.len();
+    if m <= 2 {
+        return selected.to_vec();
+    }
+    let pts: Vec<Point> = selected.iter().map(|&c| inst.candidates[c].pos).collect();
+    let tour = if m <= DENSE_TOUR_LIMIT {
+        let cost = MatrixCost::from_points(&pts);
+        let tour = mdg_tour::cheapest_insertion(&cost);
+        if improve_passes > 0 {
+            improve(
+                &cost,
+                tour,
+                &ImproveConfig {
+                    max_passes: improve_passes,
+                    ..ImproveConfig::default()
+                },
+            )
+        } else {
+            tour.normalized()
+        }
+    } else {
+        let cost = mdg_tour::EuclideanCost::new(&pts);
+        let tour = mdg_tour::cheapest_insertion(&cost);
+        if improve_passes > 0 {
+            let nl = NeighborLists::build(&pts, 10);
+            improve_neighbors(
+                &pts,
+                tour,
+                &ImproveConfig {
+                    max_passes: improve_passes,
+                    ..ImproveConfig::default()
+                },
+                &nl,
+            )
+        } else {
+            tour.normalized()
+        }
+    };
+    tour.order().iter().map(|&i| selected[i]).collect()
+}
+
+/// Concatenates tile sub-tours into one depot-anchored cycle.
+///
+/// Tiles arrive in serpentine order, so consecutive sub-tours are
+/// spatial neighbors. Each sub-tour with ≥ 3 stops is opened at its
+/// longest edge (ties: earliest cycle position) and appended in the
+/// orientation whose entry point is nearer the current cycle tail
+/// (ties: forward). Sub-tours with 1–2 stops are deferred and spliced
+/// individually at their cheapest insertion position — an "empty-ish
+/// tile" never panics, it just rides the splice path.
+///
+/// Returns `(cycle positions with sink first, global sensor id per stop,
+/// seam flag per stop, spliced stop count)`.
+#[allow(clippy::type_complexity)]
+fn stitch(sink: Point, tile_plans: &[TilePlan]) -> (Vec<Point>, Vec<u32>, Vec<bool>, usize) {
+    let total: usize = tile_plans.iter().map(|tp| tp.stops.len()).sum();
+    let mut cycle_pts: Vec<Point> = Vec::with_capacity(total + 1);
+    cycle_pts.push(sink);
+    let mut cands: Vec<u32> = Vec::with_capacity(total);
+    let mut seam: Vec<bool> = Vec::with_capacity(total);
+    let mut deferred: Vec<(Point, u32)> = Vec::new();
+
+    for tp in tile_plans {
+        let m = tp.stops.len();
+        if m == 0 {
+            continue;
+        }
+        if m <= 2 {
+            deferred.extend(tp.stops.iter().copied().zip(tp.cands.iter().copied()));
+            continue;
+        }
+        // Open the sub-tour at its longest edge: the cheapest edge to
+        // sacrifice for the two seams this tile contributes.
+        let mut cut = 0;
+        let mut cut_len = tp.stops[0].dist(tp.stops[1 % m]);
+        for i in 1..m {
+            let len = tp.stops[i].dist(tp.stops[(i + 1) % m]);
+            if len > cut_len {
+                cut = i;
+                cut_len = len;
+            }
+        }
+        let mut path: Vec<usize> = (1..=m).map(|j| (cut + j) % m).collect();
+        let tail = *cycle_pts.last().expect("cycle starts with the sink");
+        if tail.dist(tp.stops[path[m - 1]]) < tail.dist(tp.stops[path[0]]) {
+            path.reverse();
+        }
+        let start = cands.len();
+        for &i in &path {
+            cycle_pts.push(tp.stops[i]);
+            cands.push(tp.cands[i]);
+            seam.push(false);
+        }
+        seam[start] = true;
+        *seam.last_mut().expect("just pushed") = true;
+    }
+
+    // Splice the stragglers one by one.
+    let spliced = deferred.len();
+    for (p, c) in deferred {
+        let (idx, _) = cheapest_insertion_position(&cycle_pts, p);
+        cycle_pts.insert(idx, p);
+        cands.insert(idx - 1, c);
+        seam.insert(idx - 1, true);
+        // A splice also perturbs the stops it lands between.
+        if idx >= 2 {
+            seam[idx - 2] = true;
+        }
+        if idx < seam.len() {
+            seam[idx] = true;
+        }
+    }
+    (cycle_pts, cands, seam, spliced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::ShdgPlanner;
+    use mdg_net::DeploymentConfig;
+
+    fn net(n: usize, side: f64, seed: u64) -> Network {
+        Network::build(DeploymentConfig::uniform(n, side).generate(seed), 30.0)
+    }
+
+    #[test]
+    fn hier_plan_is_valid_and_covers_everything() {
+        let net = net(600, 600.0, 3);
+        let (plan, stats) = HierPlanner::with_config(HierConfig {
+            tile_cells: Some(6.0), // 180 m tiles → a real multi-tile field
+            ..HierConfig::default()
+        })
+        .plan_with_stats(&net)
+        .unwrap();
+        plan.validate(&net.deployment.sensors, net.range).unwrap();
+        assert!(stats.n_occupied > 1, "field must actually be tiled");
+        assert_eq!(plan.assignment.len(), 600);
+    }
+
+    #[test]
+    fn hier_tracks_flat_quality_on_small_fields() {
+        for seed in [1u64, 5, 9] {
+            let net = net(500, 500.0, seed);
+            let flat = ShdgPlanner::new().plan(&net).unwrap();
+            let hier = HierPlanner::with_config(HierConfig {
+                tile_cells: Some(5.0),
+                ..HierConfig::default()
+            })
+            .plan(&net)
+            .unwrap();
+            assert!(
+                hier.tour_length <= flat.tour_length * 1.25 + 1e-9,
+                "seed {seed}: hier {} vs flat {}",
+                hier.tour_length,
+                flat.tour_length
+            );
+        }
+    }
+
+    #[test]
+    fn single_tile_degenerates_to_near_flat_quality() {
+        // Auto sizing on a small field yields one tile; the only
+        // structural difference from flat is the tile anchor and the
+        // stitched sink, so quality must stay close.
+        let net = net(200, 250.0, 11);
+        let flat = ShdgPlanner::new().plan(&net).unwrap();
+        let (hier, stats) = HierPlanner::new().plan_with_stats(&net).unwrap();
+        assert_eq!(stats.n_occupied, 1);
+        hier.validate(&net.deployment.sensors, net.range).unwrap();
+        assert!(hier.tour_length <= flat.tour_length * 1.25 + 1e-9);
+    }
+
+    #[test]
+    fn empty_and_tiny_networks() {
+        let empty = Network::build(DeploymentConfig::uniform(0, 100.0).generate(1), 30.0);
+        let plan = plan_hier(&empty).unwrap();
+        assert_eq!(plan.n_polling_points(), 0);
+        assert_eq!(plan.tour_length, 0.0);
+
+        let one = Network::build(DeploymentConfig::uniform(1, 100.0).generate(1), 30.0);
+        let plan = plan_hier(&one).unwrap();
+        plan.validate(&one.deployment.sensors, one.range).unwrap();
+        assert_eq!(plan.n_polling_points(), 1);
+
+        let three = Network::build(DeploymentConfig::uniform(3, 400.0).generate(2), 30.0);
+        let plan = plan_hier(&three).unwrap();
+        plan.validate(&three.deployment.sensors, three.range)
+            .unwrap();
+    }
+
+    #[test]
+    fn sparse_tiles_ride_the_splice_path() {
+        // Tiny tiles force many 1–2 stop sub-tours through `stitch`'s
+        // deferred splice branch; the plan must still validate.
+        let net = net(120, 500.0, 4);
+        let (plan, stats) = HierPlanner::with_config(HierConfig {
+            tile_cells: Some(2.0), // 60 m tiles over a 500 m field
+            ..HierConfig::default()
+        })
+        .plan_with_stats(&net)
+        .unwrap();
+        plan.validate(&net.deployment.sensors, net.range).unwrap();
+        assert!(stats.spliced_stops > 0, "want the splice path exercised");
+    }
+
+    #[test]
+    fn empty_tiles_flow_through_stitching_without_panicking() {
+        // A tile that selected no polling points (and true empty tiles)
+        // must ride through `stitch` as a no-op.
+        let sink = Point::new(0.0, 0.0);
+        let square = TilePlan {
+            stops: vec![
+                Point::new(10.0, 0.0),
+                Point::new(20.0, 0.0),
+                Point::new(20.0, 10.0),
+                Point::new(10.0, 10.0),
+            ],
+            cands: vec![0, 1, 2, 3],
+            chosen: vec![],
+        };
+        let empty = || TilePlan {
+            stops: vec![],
+            cands: vec![],
+            chosen: vec![],
+        };
+        let lone = TilePlan {
+            stops: vec![Point::new(30.0, 5.0)],
+            cands: vec![4],
+            chosen: vec![],
+        };
+        let (pts, cands, seam, spliced) = stitch(sink, &[empty(), square, empty(), lone, empty()]);
+        assert_eq!(pts.len(), 6, "sink + 4 square stops + 1 spliced");
+        assert_eq!(cands.len(), 5);
+        assert_eq!(seam.len(), 5);
+        assert_eq!(spliced, 1);
+        assert!(cands.contains(&4), "the lone stop was spliced in");
+
+        // All tiles empty: just the sink, nothing spliced.
+        let (pts, cands, _, spliced) = stitch(
+            sink,
+            &[TilePlan {
+                stops: vec![],
+                cands: vec![],
+                chosen: vec![],
+            }],
+        );
+        assert_eq!(pts, vec![sink]);
+        assert!(cands.is_empty());
+        assert_eq!(spliced, 0);
+    }
+
+    #[test]
+    fn grid_candidates_are_rejected() {
+        let net = net(50, 200.0, 1);
+        let err = HierPlanner::with_config(HierConfig {
+            base: PlannerConfig {
+                candidates: CandidateMode::Grid { spacing: 20.0 },
+                ..PlannerConfig::default()
+            },
+            ..HierConfig::default()
+        })
+        .plan(&net)
+        .unwrap_err();
+        assert!(matches!(err, PlanError::Unsupported(_)));
+    }
+
+    #[test]
+    fn bad_tile_cells_is_a_clean_error() {
+        let net = net(50, 200.0, 1);
+        for cells in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = HierPlanner::with_config(HierConfig {
+                tile_cells: Some(cells),
+                ..HierConfig::default()
+            })
+            .plan(&net)
+            .unwrap_err();
+            assert!(matches!(err, PlanError::Unsupported(_)), "cells={cells}");
+        }
+    }
+
+    #[test]
+    fn capacitated_hier_respects_the_buffer_bound() {
+        let net = net(300, 400.0, 6);
+        let cap = 5;
+        let plan = HierPlanner::with_config(HierConfig {
+            base: PlannerConfig {
+                max_sensors_per_pp: Some(cap),
+                ..PlannerConfig::default()
+            },
+            tile_cells: Some(5.0),
+            ..HierConfig::default()
+        })
+        .plan(&net)
+        .unwrap();
+        plan.validate(&net.deployment.sensors, net.range).unwrap();
+        for pp in &plan.polling_points {
+            assert!(pp.covered.len() <= cap, "buffer bound violated");
+        }
+    }
+
+    #[test]
+    fn greedy_covering_works_per_tile() {
+        let net = net(400, 450.0, 8);
+        let plan = HierPlanner::with_config(HierConfig {
+            base: PlannerConfig {
+                covering: CoveringStrategy::Greedy,
+                ..PlannerConfig::default()
+            },
+            tile_cells: Some(5.0),
+            ..HierConfig::default()
+        })
+        .plan(&net)
+        .unwrap();
+        plan.validate(&net.deployment.sensors, net.range).unwrap();
+    }
+
+    #[test]
+    fn hier_is_deterministic_across_runs() {
+        let net = net(700, 600.0, 12);
+        let cfg = HierConfig {
+            tile_cells: Some(6.0),
+            ..HierConfig::default()
+        };
+        let a = HierPlanner::with_config(cfg).plan(&net).unwrap();
+        let b = HierPlanner::with_config(cfg).plan(&net).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn touch_up_never_lengthens_the_stitched_tour() {
+        for seed in [2u64, 7, 13] {
+            let net = net(500, 550.0, seed);
+            let base = HierConfig {
+                tile_cells: Some(5.0),
+                touch_up: false,
+                ..HierConfig::default()
+            };
+            let raw = HierPlanner::with_config(base).plan(&net).unwrap();
+            let polished = HierPlanner::with_config(HierConfig {
+                touch_up: true,
+                ..base
+            })
+            .plan(&net)
+            .unwrap();
+            assert!(
+                polished.tour_length <= raw.tour_length + 1e-9,
+                "seed {seed}: touch-up lengthened {} -> {}",
+                raw.tour_length,
+                polished.tour_length
+            );
+        }
+    }
+}

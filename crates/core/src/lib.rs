@@ -20,6 +20,10 @@
 //! * [`ShdgPlanner`] — the heuristic planner: greedy or **tour-aware**
 //!   covering, redundancy pruning against the actual tour, and 2-opt/Or-opt
 //!   tour polishing. Produces a [`GatheringPlan`].
+//! * [`hier::HierPlanner`] — the hierarchical tiled planner for very
+//!   large fields: tile the field, run the flat pipeline per tile in
+//!   parallel, stitch the sub-tours, and polish the seams. Plans
+//!   million-sensor fields that the flat planner cannot reach.
 //! * [`exact`] — an exact SHDGP solver for small instances (enumerates
 //!   inclusion-minimal covers with a convex-hull tour lower bound, solving
 //!   each tour with Held–Karp), substituting the paper's CPLEX baseline.
@@ -31,6 +35,7 @@
 pub mod error;
 pub mod exact;
 pub mod fleet;
+pub mod hier;
 pub mod ilp;
 pub mod metrics;
 pub mod mutate;
@@ -44,6 +49,7 @@ pub use fleet::{
     plan_fleet, plan_fleet_angular, plan_fleet_best, plan_fleet_for_deadline, CollectorTour,
     FleetPlan,
 };
+pub use hier::{plan_hier, HierConfig, HierPlanner, HierStats};
 pub use ilp::{check_plan_against_ilp, IlpInstance};
 pub use metrics::PlanMetrics;
 pub use mutate::UNASSIGNED;

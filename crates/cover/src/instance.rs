@@ -68,6 +68,26 @@ impl CoverageInstance {
         }
     }
 
+    /// **Sensor sites, restricted to a subset**: the instance over
+    /// `sensors[subset[0]], sensors[subset[1]], …` with sensor-site
+    /// candidates, using *local* indices — target and candidate `i` both
+    /// refer to `sensors[subset[i]]`. This is the per-tile building block
+    /// of hierarchical planning: the full-field instance is quadratic in
+    /// `n`, but a tile's instance only pays for the tile.
+    ///
+    /// Coverage is computed within the subset only; a sensor just outside
+    /// the subset does not appear, even if it is within range. Each sensor
+    /// still covers itself, so the instance is always feasible.
+    ///
+    /// # Panics
+    /// Panics if `range` is not strictly positive and finite, or if any
+    /// subset index is out of bounds.
+    pub fn sensor_sites_subset(sensors: &[Point], subset: &[u32], range: f64) -> Self {
+        assert!(range > 0.0 && range.is_finite(), "range must be positive");
+        let local: Vec<Point> = subset.iter().map(|&g| sensors[g as usize]).collect();
+        CoverageInstance::sensor_sites(&local, range)
+    }
+
     /// **Grid candidates**: candidate polling points on a square lattice of
     /// the given `spacing` over `field` ("predefined positions" on a grid,
     /// the SHDG variant used in the comparison experiments). Grid points
@@ -296,5 +316,40 @@ mod tests {
         assert!(inst.is_feasible());
         assert!(inst.is_cover(&[]), "empty cover suffices for zero targets");
         assert_eq!(inst.assign(&[]).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn sensor_sites_subset_matches_full_instance_on_isolated_cluster() {
+        // Two clusters farther apart than the range: restricting to one
+        // cluster reproduces exactly that cluster's coverage structure.
+        let sensors = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(200.0, 200.0),
+            Point::new(8.0, 0.0),
+        ];
+        let subset = [0u32, 1, 3];
+        let inst = CoverageInstance::sensor_sites_subset(&sensors, &subset, 10.0);
+        assert_eq!(inst.n_targets(), 3);
+        assert_eq!(inst.n_candidates(), 3);
+        assert!(inst.is_feasible(), "sensor sites always cover themselves");
+        for (i, &g) in subset.iter().enumerate() {
+            assert_eq!(inst.candidates[i].pos, sensors[g as usize]);
+            assert!(inst.candidates[i].covers.get(i), "self-coverage");
+        }
+        // Local candidate 1 (global sensor 1 at x=5) reaches both cluster
+        // mates; the far-away sensor 2 is simply absent from the instance.
+        assert_eq!(
+            inst.candidates[1].covers.iter_ones().collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn sensor_sites_subset_empty_subset_is_feasible() {
+        let sensors = vec![Point::new(1.0, 1.0)];
+        let inst = CoverageInstance::sensor_sites_subset(&sensors, &[], 10.0);
+        assert_eq!(inst.n_targets(), 0);
+        assert!(inst.is_feasible());
     }
 }

@@ -25,6 +25,7 @@ pub mod hull;
 pub mod point;
 pub mod polyline;
 pub mod segment;
+pub mod tiles;
 
 pub use bbox::Aabb;
 pub use distmat::DistMatrix;
@@ -34,6 +35,7 @@ pub use point::centroid;
 pub use point::Point;
 pub use polyline::{closed_tour_length, open_path_length, ArcLengthPath};
 pub use segment::Segment;
+pub use tiles::Tiling;
 
 /// Absolute tolerance used by approximate floating-point comparisons in
 /// tests and geometric predicates. One nanometre is far below any

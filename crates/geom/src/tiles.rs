@@ -1,0 +1,243 @@
+//! Square tiling of a point set for hierarchical (divide-and-conquer)
+//! planning.
+//!
+//! Where [`crate::grid::SpatialGrid`] buckets points for *neighbor
+//! queries* (cells sized to the query radius), [`Tiling`] partitions the
+//! field into coarse square tiles so that each tile can be planned as an
+//! independent sub-problem. The two share the same CSR counting-sort
+//! layout, which keeps point indices ascending inside every bucket and
+//! makes iteration order — and anything derived from it — deterministic.
+
+use crate::bbox::Aabb;
+use crate::point::Point;
+
+/// A partition of a point set into square tiles on a row-major lattice.
+///
+/// Every point belongs to exactly one tile (boundary points go to the
+/// tile whose half-open cell `[k·side, (k+1)·side)` contains them, with
+/// the top/right edges clamped into the last row/column). Within a tile,
+/// point indices are in ascending order; tiles are indexed row-major from
+/// the bottom-left corner of the bounding box.
+///
+/// ```
+/// use mdg_geom::{Point, Tiling};
+///
+/// let pts = [Point::new(0.0, 0.0), Point::new(95.0, 5.0), Point::new(5.0, 95.0)];
+/// let tiling = Tiling::build(&pts, 50.0);
+/// assert_eq!(tiling.n_tiles(), 4);
+/// assert_eq!(tiling.points_in(0), &[0]);
+/// assert_eq!(tiling.points_in(1), &[1]);
+/// assert_eq!(tiling.non_empty().count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tiling {
+    side: f64,
+    cols: usize,
+    rows: usize,
+    origin: Point,
+    /// CSR-style bucket layout: `starts[t]..starts[t+1]` indexes into `items`.
+    starts: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl Tiling {
+    /// Partitions `points` into square tiles of the given `side` length.
+    ///
+    /// The requested side is a lower bound: like [`crate::SpatialGrid`],
+    /// the tile count is capped at roughly one tile per point (minimum
+    /// 64) so a tiny side over a huge field cannot allocate an absurd
+    /// lattice; the side grows to meet the cap.
+    ///
+    /// # Panics
+    /// Panics if `side` is not strictly positive and finite.
+    pub fn build(points: &[Point], side: f64) -> Self {
+        assert!(
+            side > 0.0 && side.is_finite(),
+            "tile side must be positive and finite"
+        );
+        let bb = Aabb::from_points(points).unwrap_or(Aabb {
+            min: Point::ORIGIN,
+            max: Point::ORIGIN,
+        });
+        let origin = bb.min;
+        let max_tiles = points.len().max(64);
+        let min_side = (bb.width().max(1e-12) * bb.height().max(1e-12) / max_tiles as f64).sqrt();
+        let side = side.max(min_side);
+        let cols = ((bb.width() / side).floor() as usize + 1).max(1);
+        let rows = ((bb.height() / side).floor() as usize + 1).max(1);
+        let n_tiles = cols * rows;
+
+        // Two-pass counting sort into CSR buckets; indices stay ascending
+        // within each tile because both passes scan `points` in order.
+        let mut counts = vec![0u32; n_tiles + 1];
+        let tile_of = |p: Point| -> usize {
+            let tx = (((p.x - origin.x) / side).floor() as usize).min(cols - 1);
+            let ty = (((p.y - origin.y) / side).floor() as usize).min(rows - 1);
+            ty * cols + tx
+        };
+        for &p in points {
+            counts[tile_of(p) + 1] += 1;
+        }
+        for t in 0..n_tiles {
+            counts[t + 1] += counts[t];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut items = vec![0u32; points.len()];
+        for (i, &p) in points.iter().enumerate() {
+            let t = tile_of(p);
+            items[cursor[t] as usize] = i as u32;
+            cursor[t] += 1;
+        }
+        Tiling {
+            side,
+            cols,
+            rows,
+            origin,
+            starts,
+            items,
+        }
+    }
+
+    /// The effective tile side length (≥ the requested side when the
+    /// tile-count cap kicked in).
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// Number of tile columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of tile rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of tiles (including empty ones).
+    pub fn n_tiles(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Indices of the points in tile `t`, ascending.
+    pub fn points_in(&self, t: usize) -> &[u32] {
+        &self.items[self.starts[t] as usize..self.starts[t + 1] as usize]
+    }
+
+    /// Center of tile `t` in field coordinates.
+    pub fn tile_center(&self, t: usize) -> Point {
+        let tx = t % self.cols;
+        let ty = t / self.cols;
+        Point::new(
+            self.origin.x + (tx as f64 + 0.5) * self.side,
+            self.origin.y + (ty as f64 + 0.5) * self.side,
+        )
+    }
+
+    /// Tiles in boustrophedon (serpentine) order: row 0 left-to-right,
+    /// row 1 right-to-left, and so on. Consecutive tiles in this order are
+    /// lattice neighbors, which keeps the seams short when sub-tours are
+    /// concatenated along it.
+    pub fn serpentine(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let base = r * self.cols;
+            (0..self.cols).map(move |c| {
+                if r % 2 == 0 {
+                    base + c
+                } else {
+                    base + (self.cols - 1 - c)
+                }
+            })
+        })
+    }
+
+    /// Indices of non-empty tiles, in serpentine order.
+    pub fn non_empty(&self) -> impl Iterator<Item = usize> + '_ {
+        self.serpentine()
+            .filter(move |&t| self.starts[t + 1] > self.starts[t])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn every_point_lands_in_exactly_one_tile() {
+        let points = pts(&[
+            (0.0, 0.0),
+            (10.0, 10.0),
+            (99.0, 1.0),
+            (1.0, 99.0),
+            (99.0, 99.0),
+            (50.0, 50.0),
+        ]);
+        let tiling = Tiling::build(&points, 25.0);
+        let mut seen = vec![false; points.len()];
+        for t in 0..tiling.n_tiles() {
+            for &i in tiling.points_in(t) {
+                assert!(!seen[i as usize], "point {i} bucketed twice");
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every point must be bucketed");
+    }
+
+    #[test]
+    fn indices_ascend_within_each_tile() {
+        let points = pts(&[(1.0, 1.0), (2.0, 2.0), (80.0, 80.0), (3.0, 3.0)]);
+        let tiling = Tiling::build(&points, 50.0);
+        for t in 0..tiling.n_tiles() {
+            let bucket = tiling.points_in(t);
+            assert!(
+                bucket.windows(2).all(|w| w[0] < w[1]),
+                "tile {t}: {bucket:?}"
+            );
+        }
+        assert_eq!(tiling.points_in(0), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn serpentine_visits_every_tile_once_and_alternates() {
+        let points = pts(&[(0.0, 0.0), (299.0, 299.0)]);
+        let tiling = Tiling::build(&points, 100.0);
+        assert_eq!((tiling.cols(), tiling.rows()), (3, 3));
+        let order: Vec<usize> = tiling.serpentine().collect();
+        assert_eq!(order, vec![0, 1, 2, 5, 4, 3, 6, 7, 8]);
+    }
+
+    #[test]
+    fn tiny_side_is_capped_like_spatial_grid() {
+        let points = pts(&[(0.0, 0.0), (300.0, 300.0), (150.0, 10.0)]);
+        let tiling = Tiling::build(&points, 1e-6);
+        assert!(tiling.n_tiles() <= 2 * points.len().max(64));
+        assert!(tiling.side() > 1e-6);
+    }
+
+    #[test]
+    fn degenerate_point_sets_build_a_single_tile() {
+        for points in [vec![], pts(&[(5.0, 5.0)]), pts(&[(5.0, 5.0), (5.0, 5.0)])] {
+            let tiling = Tiling::build(&points, 10.0);
+            assert_eq!(tiling.n_tiles(), 1);
+            assert_eq!(tiling.points_in(0).len(), points.len());
+            assert_eq!(tiling.non_empty().count(), usize::from(!points.is_empty()));
+        }
+    }
+
+    #[test]
+    fn tile_centers_sit_inside_their_tiles() {
+        let points = pts(&[(0.0, 0.0), (100.0, 70.0)]);
+        let tiling = Tiling::build(&points, 30.0);
+        for t in 0..tiling.n_tiles() {
+            let c = tiling.tile_center(t);
+            let tx = (((c.x - 0.0) / tiling.side()).floor() as usize).min(tiling.cols() - 1);
+            let ty = (((c.y - 0.0) / tiling.side()).floor() as usize).min(tiling.rows() - 1);
+            assert_eq!(ty * tiling.cols() + tx, t);
+        }
+    }
+}

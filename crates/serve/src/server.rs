@@ -35,7 +35,7 @@
 //! (no reset).
 
 use crate::protocol::*;
-use crate::session::{DeltaMode, FieldSession};
+use crate::session::{DeltaError, DeltaMode, FieldSession, MAX_COORD};
 use mdg_core::PlannerConfig;
 use mdg_geom::Aabb;
 use mdg_net::{Deployment, DeploymentConfig};
@@ -429,13 +429,22 @@ fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Hand-written last-resort error line for when serialization itself
+/// fails: the one response that cannot fail to build.
+const FALLBACK_ERROR: &str =
+    r#"{"ok":false,"error":{"code":"internal","message":"response serialization failed"}}"#;
+
 fn error_json(code: &str, message: impl Into<String>) -> String {
+    // Serialization of these plain structs cannot realistically fail
+    // (the vendored serializer maps non-finite floats to `null` rather
+    // than erroring), but a panic here would tear down the request path
+    // on the least-expected line — degrade to a static error instead.
     serde_json::to_string(&ErrorResponse::new(code, message))
-        .expect("error responses always serialize")
+        .unwrap_or_else(|_| FALLBACK_ERROR.to_string())
 }
 
 fn ok_json<T: serde::Serialize>(value: &T) -> String {
-    serde_json::to_string(value).expect("responses always serialize")
+    serde_json::to_string(value).unwrap_or_else(|_| FALLBACK_ERROR.to_string())
 }
 
 /// Parses and executes one request line. Returns the response JSON and
@@ -516,6 +525,11 @@ fn handle_plan(req: &Request, shared: &Shared) -> Result<String, HandlerError> {
     if !(range.is_finite() && range > 0.0) {
         return Err(bad_request(format!("range must be positive, got {range}")));
     }
+    if range > MAX_COORD {
+        return Err(bad_request(format!(
+            "range {range} exceeds the {MAX_COORD:e} m bound"
+        )));
+    }
     let deployment = build_deployment(req, shared)?;
     if deployment.sensors.is_empty() {
         return Err(bad_request("plan needs at least one sensor"));
@@ -546,12 +560,22 @@ fn build_deployment(req: &Request, shared: &Shared) -> Result<Deployment, Handle
             if !(p.x.is_finite() && p.y.is_finite()) {
                 return Err(bad_request("sensor positions must be finite"));
             }
+            if p.x.abs() > MAX_COORD || p.y.abs() > MAX_COORD {
+                return Err(bad_request(format!(
+                    "sensor positions must be within ±{MAX_COORD:e} m"
+                )));
+            }
         }
         let field = Aabb::from_points(sensors)
             .ok_or_else(|| bad_request("plan needs at least one sensor"))?;
         let sink = req.sink.unwrap_or_else(|| field.center());
         if !(sink.x.is_finite() && sink.y.is_finite()) {
             return Err(bad_request("sink position must be finite"));
+        }
+        if sink.x.abs() > MAX_COORD || sink.y.abs() > MAX_COORD {
+            return Err(bad_request(format!(
+                "sink position must be within ±{MAX_COORD:e} m"
+            )));
         }
         Ok(Deployment {
             sensors: sensors.clone(),
@@ -600,9 +624,27 @@ fn handle_delta(req: &Request, shared: &Shared) -> Result<String, HandlerError> 
             shared.cfg.max_sensors
         )));
     }
-    let outcome = session
-        .apply_delta(&died, &added, req.range)
-        .map_err(bad_request)?;
+    let outcome = match session.apply_delta(&died, &added, req.range) {
+        Ok(outcome) => outcome,
+        // Rejected during validation: the session is untouched and stays.
+        Err(DeltaError::Invalid(msg)) => return Err(bad_request(msg)),
+        // Mutated and then failed validation: serving this session again
+        // would hand out a corrupt plan. Evict it (the delta handler's
+        // equivalent of the panic path) and tell the client to re-plan.
+        Err(DeltaError::Corrupt(msg)) => {
+            drop(session);
+            if lock_unpoisoned(&shared.sessions).remove(&field) {
+                mdg_obs::counter("serve/sessions/evicted").add(1);
+                eprintln!("mdg-serve: delta corrupted session `{field}` ({msg}); evicted");
+            }
+            return Err((
+                "internal".to_string(),
+                format!(
+                    "delta left the session invalid ({msg}); session evicted, re-plan with `plan`"
+                ),
+            ));
+        }
+    };
     match outcome.mode {
         DeltaMode::Repair => mdg_obs::counter("serve/repairs").add(1),
         DeltaMode::Replan => mdg_obs::counter("serve/full_replans").add(1),

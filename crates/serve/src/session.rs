@@ -25,7 +25,11 @@
 //!    the session reports the delta as `mode: "replan"`.
 //!
 //! Every delta ends with [`GatheringPlan::validate_live`]: an invalid
-//! repaired plan is a hard error, never silently served.
+//! repaired plan is a hard error, never silently served. The error type
+//! distinguishes the two failure worlds — [`DeltaError::Invalid`] (the
+//! request was rejected before any mutation; the session is fine) versus
+//! [`DeltaError::Corrupt`] (the session mutated and then failed
+//! validation; the server evicts it rather than serve corrupt state).
 
 use crate::protocol::SessionInfo;
 use mdg_core::{GatheringPlan, PlannerConfig, ShdgPlanner, UNASSIGNED};
@@ -34,6 +38,42 @@ use mdg_geom::{Aabb, Point};
 use mdg_net::{Deployment, Network};
 use mdg_runtime::{repair_plan, RepairConfig};
 use std::time::Instant;
+
+/// Largest coordinate magnitude a session accepts, in meters.
+///
+/// Distance arithmetic squares coordinates, so positions beyond ~1e12
+/// push `dist_sq` toward `f64` overflow and tour lengths degrade to
+/// `inf`/`NaN` — *after* the session has already mutated, which is how a
+/// finite-but-absurd `added` position used to corrupt a warm session.
+/// Rejecting astronomically large positions up front (like non-finite
+/// ones) keeps that failure in the validation phase, where the session
+/// is still untouched. 10⁹ km is eight orders of magnitude beyond any
+/// deployable field, so no legitimate request is affected.
+pub const MAX_COORD: f64 = 1e12;
+
+/// Why a delta failed — and, critically, whether the session survived it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The request was rejected during validation, before any state
+    /// changed. The session is still consistent and must be retained;
+    /// the client gets a `bad_request`.
+    Invalid(String),
+    /// The session mutated and the repaired plan then failed validation.
+    /// Its state can no longer be trusted: the caller MUST evict it (the
+    /// client gets an `internal` error and re-plans cold).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::Invalid(msg) => write!(f, "{msg}"),
+            DeltaError::Corrupt(msg) => write!(f, "session corrupted: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
 
 /// How a delta was resolved (the `mode` field of a `delta` response).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,36 +191,51 @@ impl FieldSession {
     /// positions, and/or a new transmission `range` — and restores full
     /// live coverage via incremental repair (full-replan fallback).
     ///
-    /// Errors (out-of-range ids, non-finite positions, invalid range)
-    /// leave the session untouched; repair-level failures surface as
-    /// `Err` and the caller is expected to evict the session.
+    /// Validation errors ([`DeltaError::Invalid`]: out-of-range ids,
+    /// non-finite or astronomically large positions, invalid range)
+    /// leave the session untouched. A repair-level failure after the
+    /// session has mutated surfaces as [`DeltaError::Corrupt`]; the
+    /// caller MUST evict the session — its state is no longer trusted.
     pub fn apply_delta(
         &mut self,
         died: &[u64],
         added: &[Point],
         new_range: Option<f64>,
-    ) -> Result<DeltaOutcome, String> {
+    ) -> Result<DeltaOutcome, DeltaError> {
         let t0 = Instant::now();
         // Validate everything before mutating anything.
         let n = self.alive.len();
         for &s in died {
             if s as usize >= n {
-                return Err(format!(
+                return Err(DeltaError::Invalid(format!(
                     "died id {s} out of range (session has {n} sensors)"
-                ));
+                )));
             }
         }
         for p in added {
             if !(p.x.is_finite() && p.y.is_finite()) {
-                return Err(format!(
+                return Err(DeltaError::Invalid(format!(
                     "added sensor at non-finite position ({}, {})",
                     p.x, p.y
-                ));
+                )));
+            }
+            if p.x.abs() > MAX_COORD || p.y.abs() > MAX_COORD {
+                return Err(DeltaError::Invalid(format!(
+                    "added sensor at ({}, {}) exceeds the ±{MAX_COORD:e} m coordinate bound",
+                    p.x, p.y
+                )));
             }
         }
         if let Some(r) = new_range {
             if !(r.is_finite() && r > 0.0) {
-                return Err(format!("range must be a positive number, got {r}"));
+                return Err(DeltaError::Invalid(format!(
+                    "range must be a positive number, got {r}"
+                )));
+            }
+            if r > MAX_COORD {
+                return Err(DeltaError::Invalid(format!(
+                    "range {r} exceeds the {MAX_COORD:e} m bound"
+                )));
             }
         }
         let range_changed = new_range.is_some_and(|r| (r - self.net.range).abs() > 1e-12);
@@ -234,9 +289,11 @@ impl FieldSession {
             )
         };
 
+        // Past this point the session has mutated: a validation failure
+        // is corruption, not a rejectable request.
         self.plan
             .validate_live(&self.net.deployment.sensors, self.net.range, &self.alive)
-            .map_err(|e| format!("repaired plan failed validation: {e}"))?;
+            .map_err(|e| DeltaError::Corrupt(format!("repaired plan failed validation: {e}")))?;
 
         self.generation += 1;
         self.stats.deltas += 1;
@@ -388,13 +445,41 @@ mod tests {
     fn bad_delta_leaves_the_session_untouched() {
         let mut s = session(80, 7);
         let before_gen = s.generation;
-        assert!(s.apply_delta(&[80], &[], None).is_err());
-        assert!(s
-            .apply_delta(&[], &[Point::new(f64::NAN, 0.0)], None)
-            .is_err());
-        assert!(s.apply_delta(&[], &[], Some(-1.0)).is_err());
+        for err in [
+            s.apply_delta(&[80], &[], None).unwrap_err(),
+            s.apply_delta(&[], &[Point::new(f64::NAN, 0.0)], None)
+                .unwrap_err(),
+            s.apply_delta(&[], &[], Some(-1.0)).unwrap_err(),
+        ] {
+            assert!(
+                matches!(err, DeltaError::Invalid(_)),
+                "pre-mutation rejection must be Invalid, got {err:?}"
+            );
+        }
         assert_eq!(s.generation, before_gen);
         assert_eq!(s.n_live(), 80);
+    }
+
+    #[test]
+    fn huge_finite_coordinates_are_rejected_before_mutation() {
+        // 1e300 is finite, but its squared distances overflow to inf and
+        // used to corrupt the session *after* it had mutated. The
+        // magnitude guard now rejects it in the validation phase.
+        let mut s = session(60, 9);
+        let before = s.plan().clone();
+        for bad in [
+            Point::new(1e300, 0.0),
+            Point::new(0.0, -1e300),
+            Point::new(MAX_COORD * 2.0, 0.0),
+        ] {
+            let err = s.apply_delta(&[], &[bad], None).unwrap_err();
+            assert!(matches!(err, DeltaError::Invalid(_)), "{bad:?}: {err:?}");
+        }
+        // Session fully intact and still serving the same plan.
+        assert_eq!(s.generation, 0);
+        assert_eq!(s.alive.len(), 60);
+        assert_eq!(*s.plan(), before);
+        s.apply_delta(&[], &[Point::new(50.0, 50.0)], None).unwrap();
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! never a poisoned session table. Each test drives a real server over
 //! real sockets.
 
+use mdg_geom::Point;
 use mdg_serve::client::Client;
 use mdg_serve::protocol::{Ack, ErrorResponse, PlanSummary};
 use mdg_serve::server::{ServeConfig, Server};
@@ -211,6 +212,44 @@ fn concurrent_clients_get_isolated_sessions() {
     let mut c = Client::connect(addr).unwrap();
     let metrics = c.metrics().unwrap().unwrap();
     assert_eq!(metrics.sessions.len(), 4);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn hostile_coordinates_get_structured_errors_and_the_session_survives() {
+    let server = start(ServeConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let cold = seed_session(&mut client, "survivor");
+
+    // Non-finite and absurd-magnitude coordinates are the classic way to
+    // smuggle NaN/inf into the warm state (distances overflow, tours go
+    // non-finite). Every one must come back as a structured reject, with
+    // the session untouched.
+    for hostile in [
+        "{\"cmd\":\"delta\",\"field\":\"survivor\",\"added\":[{\"x\":1e300,\"y\":0}]}",
+        "{\"cmd\":\"delta\",\"field\":\"survivor\",\"added\":[{\"x\":0,\"y\":-1e300}]}",
+        "{\"cmd\":\"delta\",\"field\":\"survivor\",\"added\":[{\"x\":5e12,\"y\":5e12}]}",
+        "{\"cmd\":\"delta\",\"field\":\"survivor\",\"range\":1e300}",
+        "{\"cmd\":\"plan\",\"field\":\"poisoned\",\"sensors\":[{\"x\":1e300,\"y\":0}],\"range\":30}",
+        "{\"cmd\":\"plan\",\"field\":\"poisoned\",\"sensors\":[{\"x\":1,\"y\":2}],\"sink\":{\"x\":-7e12,\"y\":0},\"range\":30}",
+    ] {
+        let resp = client.send_raw(hostile).unwrap();
+        assert_eq!(error_code(&resp), "bad_request", "for {hostile}");
+    }
+
+    // The warm session was not mutated by any rejected request: the
+    // generation is unchanged and a well-formed delta still repairs.
+    let got = client.get_plan("survivor").unwrap().unwrap();
+    assert_eq!(got.generation, cold.generation);
+    let patched = client
+        .delta("survivor", vec![3], vec![Point { x: 40.0, y: 55.0 }], None)
+        .unwrap()
+        .unwrap();
+    assert_eq!(patched.generation, cold.generation + 1);
+    // No half-created session leaked from the rejected `plan` requests.
+    let metrics = client.metrics().unwrap().unwrap();
+    assert_eq!(metrics.sessions.len(), 1);
     server.shutdown();
     server.join();
 }

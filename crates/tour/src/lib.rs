@@ -52,7 +52,9 @@ pub use cost::{CostMatrix, EuclideanCost, MatrixCost};
 pub use exact::held_karp;
 pub use improve::{improve, or_opt, two_opt, ImproveConfig};
 pub use lower_bound::held_karp_lower_bound;
-pub use neighbors::{improve_neighbors, two_opt_neighbors, NeighborLists};
+pub use neighbors::{
+    improve_neighbors, two_opt_neighbors, two_opt_neighbors_seeded, NeighborLists,
+};
 pub use splice::{cheapest_insertion_position, splice_point};
 pub use split::{min_collectors_for_bound, split_into_k, SplitTour};
 pub use three_opt::three_opt;

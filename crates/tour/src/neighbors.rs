@@ -109,12 +109,18 @@ fn reverse_cyclic(order: &mut [usize], pos: &mut [u32], from: usize, to: usize) 
 /// Queue-driven neighbor-list 2-opt: processes cities off a work queue,
 /// and whenever a move is applied, wakes the four affected cities. Returns
 /// the total gain.
+///
+/// `seeds` selects the initial queue: `None` enqueues every city (a full
+/// sweep); `Some(cities)` starts with only those cities' don't-look bits
+/// cleared, so the search stays local to their neighborhoods — other
+/// cities are examined only once a move wakes them.
 fn two_opt_neighbors_pass(
     points: &[Point],
     nl: &NeighborLists,
     order: &mut [usize],
     pos: &mut [u32],
     min_gain: f64,
+    seeds: Option<&[usize]>,
 ) -> f64 {
     let n = order.len();
     let mut total_gain = 0.0;
@@ -124,8 +130,24 @@ fn two_opt_neighbors_pass(
     let mut moves = 0u64;
     // The queue holds cities with their don't-look bit cleared; a city is
     // re-examined only after a move touches its tour neighborhood.
-    let mut queue: VecDeque<usize> = order.iter().copied().collect();
-    let mut queued = vec![true; n];
+    let mut queue: VecDeque<usize>;
+    let mut queued;
+    match seeds {
+        None => {
+            queue = order.iter().copied().collect();
+            queued = vec![true; n];
+        }
+        Some(cities) => {
+            queue = VecDeque::with_capacity(cities.len());
+            queued = vec![false; n];
+            for &c in cities {
+                if c < n && !queued[c] {
+                    queued[c] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
     while let Some(a) = queue.pop_front() {
         queued[a] = false;
         let mut moved = true;
@@ -288,7 +310,33 @@ pub fn two_opt_neighbors(points: &[Point], tour: Tour, nl: &NeighborLists, min_g
     for (p, &c) in order.iter().enumerate() {
         pos[c] = p as u32;
     }
-    two_opt_neighbors_pass(points, nl, &mut order, &mut pos, min_gain);
+    two_opt_neighbors_pass(points, nl, &mut order, &mut pos, min_gain, None);
+    Tour::from_order_unchecked(order).normalized()
+}
+
+/// Seeded neighbor-list 2-opt: like [`two_opt_neighbors`], but the work
+/// queue starts from `seeds` (city indices) instead of every city, so the
+/// search only examines those cities' neighborhoods — plus whatever a
+/// successful move wakes up transitively.
+///
+/// This is the hierarchical stitcher's touch-up primitive: after per-tile
+/// sub-tours are concatenated, only the cross-tile seam edges can be bad,
+/// so seeding the seam vertices polishes the seams at a cost proportional
+/// to the seams, not the tour. Out-of-range and duplicate seeds are
+/// ignored; an empty seed list returns the tour unchanged (normalized).
+pub fn two_opt_neighbors_seeded(
+    points: &[Point],
+    tour: Tour,
+    nl: &NeighborLists,
+    min_gain: f64,
+    seeds: &[usize],
+) -> Tour {
+    let mut order = tour.into_order();
+    let mut pos = vec![0u32; order.len()];
+    for (p, &c) in order.iter().enumerate() {
+        pos[c] = p as u32;
+    }
+    two_opt_neighbors_pass(points, nl, &mut order, &mut pos, min_gain, Some(seeds));
     Tour::from_order_unchecked(order).normalized()
 }
 
@@ -327,7 +375,7 @@ pub fn improve_neighbors(
         pos[c] = p as u32;
     }
     for _ in 0..cfg.max_passes {
-        let g1 = two_opt_neighbors_pass(points, nl, &mut order, &mut pos, cfg.min_gain);
+        let g1 = two_opt_neighbors_pass(points, nl, &mut order, &mut pos, cfg.min_gain, None);
         let g2 = or_opt_neighbors_pass(
             points,
             nl,
@@ -477,6 +525,63 @@ mod tests {
                 es
             };
             assert_eq!(edges(&order), edges(&reference), "from={from} to={to}");
+        }
+    }
+
+    #[test]
+    fn seeded_with_all_cities_matches_full_pass() {
+        for seed in 0..10u64 {
+            let pts = random_points(70, seed);
+            let nl = NeighborLists::build(&pts, 10);
+            let t0 = nearest_neighbor(&EuclideanCost::new(&pts));
+            // Seed every city in tour order — exactly the full pass's
+            // initial queue — so the runs are move-for-move identical.
+            let all: Vec<usize> = t0.order().to_vec();
+            let full = two_opt_neighbors(&pts, t0.clone(), &nl, 1e-9);
+            let seeded = two_opt_neighbors_seeded(&pts, t0, &nl, 1e-9, &all);
+            assert_eq!(full.order(), seeded.order(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_seeds_leave_the_tour_unchanged() {
+        let pts = random_points(30, 5);
+        let nl = NeighborLists::build(&pts, 8);
+        let t0 = Tour::identity(30);
+        let t1 = two_opt_neighbors_seeded(&pts, t0.clone(), &nl, 1e-9, &[]);
+        assert_eq!(t1.order(), t0.normalized().order());
+    }
+
+    #[test]
+    fn seeding_the_crossing_uncrosses_it_but_out_of_range_seeds_are_ignored() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let nl = NeighborLists::build(&pts, 3);
+        let cost = EuclideanCost::new(&pts);
+        // Seeding any vertex of the crossing edge pair fixes the square;
+        // indices past n are silently skipped rather than panicking.
+        let fixed =
+            two_opt_neighbors_seeded(&pts, Tour::new(vec![0, 1, 2, 3]), &nl, 1e-9, &[0, 99, 0]);
+        assert!((fixed.length(&cost) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeded_never_lengthens_and_preserves_permutation() {
+        for seed in 0..10u64 {
+            let pts = random_points(50, seed);
+            let cost = EuclideanCost::new(&pts);
+            let nl = NeighborLists::build(&pts, 8);
+            let t0 = Tour::identity(50);
+            let len0 = t0.length(&cost);
+            let t1 = two_opt_neighbors_seeded(&pts, t0, &nl, 1e-9, &[0, 10, 20, 30, 40]);
+            assert!(t1.length(&cost) <= len0 + 1e-9, "seed {seed}");
+            let mut sorted = t1.order().to_vec();
+            sorted.sort_unstable();
+            assert!(sorted.iter().copied().eq(0..50), "seed {seed}");
         }
     }
 

@@ -94,6 +94,65 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_of_a_cycle_point_is_free_and_adjacent() {
+        // Splicing a point co-located with an existing stop must cost
+        // nothing and land on one of that stop's incident edges.
+        let cycle = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ];
+        for (k, &dup) in cycle.iter().enumerate() {
+            let (idx, detour) = cheapest_insertion_position(&cycle, dup);
+            assert!(detour.abs() < 1e-12, "duplicate of stop {k} costs {detour}");
+            assert!(idx >= 1 && idx <= cycle.len());
+            assert!(
+                idx == k || idx == k + 1 || (k == 0 && idx == cycle.len()),
+                "stop {k}: insertion at {idx} is not adjacent"
+            );
+        }
+    }
+
+    #[test]
+    fn all_colocated_cycle_accepts_another_duplicate() {
+        // Degenerate geometry: every stop (and the new point) at one spot.
+        let mut cycle = vec![Point::new(5.0, 5.0); 3];
+        let p = Point::new(5.0, 5.0);
+        let (idx, detour) = cheapest_insertion_position(&cycle, p);
+        assert_eq!(idx, 1, "earliest edge wins all-zero ties");
+        assert!(detour.abs() < 1e-12);
+        let at = splice_point(&mut cycle, p);
+        assert_eq!(at, 1);
+        assert_eq!(cycle.len(), 4);
+    }
+
+    #[test]
+    fn two_point_cycle_inserts_on_the_cheaper_side() {
+        let cycle = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        // Nearer the second point: both edges are (a,b) and (b,a), so the
+        // detour is the same either way; the earliest edge must win.
+        let (idx, detour) = cheapest_insertion_position(&cycle, Point::new(20.0, 0.0));
+        assert_eq!(idx, 1, "tie between the two edges resolves earliest");
+        assert!((detour - 20.0).abs() < 1e-12, "2·d(b,p) past the segment");
+        // Off-axis point: still one of the two valid slots, detour exact.
+        let p = Point::new(5.0, 5.0);
+        let (idx, detour) = cheapest_insertion_position(&cycle, p);
+        assert!(idx == 1 || idx == 2);
+        let expect = cycle[0].dist(p) + p.dist(cycle[1]) - cycle[0].dist(cycle[1]);
+        assert!((detour - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_cycle_with_duplicate_point() {
+        let mut cycle = vec![Point::new(7.0, 7.0)];
+        let (idx, detour) = cheapest_insertion_position(&cycle, Point::new(7.0, 7.0));
+        assert_eq!((idx, detour), (1, 0.0));
+        splice_point(&mut cycle, Point::new(7.0, 7.0));
+        assert_eq!(cycle.len(), 2);
+    }
+
+    #[test]
     fn depot_position_never_usurped() {
         let cycle = vec![
             Point::new(0.0, 0.0),

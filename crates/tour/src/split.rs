@@ -43,6 +43,21 @@ fn subtour_length<C: CostMatrix>(cost: &C, cities: &[usize]) -> f64 {
     }
 }
 
+/// Feasibility tolerance for packing: relative in the bound's magnitude
+/// plus an absolute floor.
+///
+/// The comparison `length ≤ bound` accumulates one `f64` rounding error
+/// per tour leg, and those errors scale with the coordinates: at
+/// city-scale instances (tour lengths ~1e5 m and beyond — exactly the
+/// regime hierarchical planning targets) a unit in the last place of the
+/// running sum is orders of magnitude above any fixed epsilon, so a purely
+/// absolute `+ 1e-9` slack can flip feasibility at the binary-search
+/// boundary depending on summation order. The relative term tracks the
+/// magnitude; the absolute floor keeps tiny instances well-behaved.
+fn pack_tolerance(bound: f64) -> f64 {
+    bound * (1.0 + 1e-12) + 1e-9
+}
+
 /// Greedily packs the tour's non-depot cities (in tour order) into
 /// sub-tours of closed length ≤ `bound`. Returns `None` if some single
 /// city cannot be served within `bound` (i.e. `2·cost(0, c) > bound`).
@@ -50,8 +65,9 @@ fn pack_within<C: CostMatrix>(cost: &C, seq: &[usize], bound: f64) -> Option<Vec
     let mut out = Vec::new();
     let mut current: Vec<usize> = Vec::new();
     let mut path_len = 0.0; // depot → … → last of `current`
+    let tol = pack_tolerance(bound);
     for &c in seq {
-        if 2.0 * cost.cost(0, c) > bound + 1e-9 {
+        if 2.0 * cost.cost(0, c) > tol {
             return None;
         }
         let extended = if current.is_empty() {
@@ -59,7 +75,7 @@ fn pack_within<C: CostMatrix>(cost: &C, seq: &[usize], bound: f64) -> Option<Vec
         } else {
             path_len + cost.cost(*current.last().unwrap(), c)
         };
-        if extended + cost.cost(c, 0) <= bound + 1e-9 {
+        if extended + cost.cost(c, 0) <= tol {
             current.push(c);
             path_len = extended;
         } else {
@@ -266,6 +282,88 @@ mod tests {
             min_collectors_for_bound(&cost, &tour, 10.0).unwrap().len(),
             0
         );
+    }
+
+    #[test]
+    fn k_beyond_the_city_count_caps_at_one_tour_per_city() {
+        let cost = line_instance();
+        let tour = Tour::identity(7);
+        for k in [7, 8, 20, 1000] {
+            let split = split_into_k(&cost, &tour, k);
+            assert!(split.len() <= 6, "only 6 non-depot cities exist (k={k})");
+            all_cities_covered(&split, 7);
+            // With unlimited collectors the optimum is the farthest
+            // round trip; the binary search must find it.
+            let max = split.iter().map(|t| t.length).fold(0.0, f64::max);
+            assert!(
+                (max - 120.0).abs() < 1e-6,
+                "k={k}: max {max}, expected the 120 m round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn k_exceeding_two_city_tour() {
+        let pts = vec![Point::ORIGIN, Point::new(10.0, 0.0), Point::new(0.0, 10.0)];
+        let cost = MatrixCost::from_points(&pts);
+        let split = split_into_k(&cost, &Tour::identity(3), 5);
+        assert!(split.len() <= 2);
+        all_cities_covered(&split, 3);
+    }
+
+    #[test]
+    fn packing_feasibility_is_scale_invariant_at_large_coordinates() {
+        // Scaling every coordinate by a power of two scales every distance
+        // (and any bound derived from them) *exactly*, so feasibility must
+        // not change. Before the tolerance became relative, it did: this
+        // bound sits ~6e-12 below the exact tour length — inside the old
+        // absolute `1e-9` slack at unit scale, but the same relative
+        // deficit is ~6.6 m at 2⁴⁰ scale (tour length ~6.6e13), where the
+        // absolute epsilon rejected it — `min_collectors_for_bound`
+        // returned `None` because even the farthest round trip "missed"
+        // the bound by meters of accumulated-rounding noise.
+        for scale in [1.0, (2.0f64).powi(40)] {
+            let pts: Vec<Point> = (0..4)
+                .map(|i| Point::new(10.0 * i as f64 * scale, 0.0))
+                .collect();
+            let cost = MatrixCost::from_points(&pts);
+            let tour = Tour::identity(4);
+            let bound = (60.0 - 6e-12) * scale;
+            let tours = min_collectors_for_bound(&cost, &tour, bound)
+                .unwrap_or_else(|| panic!("bound must stay feasible at scale {scale}"));
+            assert_eq!(
+                tours.len(),
+                1,
+                "one collector suffices at scale {scale} (got {})",
+                tours.len()
+            );
+            all_cities_covered(&tours, 4);
+        }
+    }
+
+    #[test]
+    fn split_into_k_handles_city_scale_coordinates() {
+        // The binary search's feasibility oracle at the boundary must not
+        // wobble at tour lengths ~1e11: the split still covers every city,
+        // respects the farthest-roundtrip lower bound, and stays monotone.
+        let pts: Vec<Point> = (0..7).map(|i| Point::new(1e10 * i as f64, 0.0)).collect();
+        let cost = MatrixCost::from_points(&pts);
+        let tour = Tour::identity(7);
+        let mut prev = f64::INFINITY;
+        for k in 1..=4 {
+            let split = split_into_k(&cost, &tour, k);
+            all_cities_covered(&split, 7);
+            let max = split.iter().map(|t| t.length).fold(0.0, f64::max);
+            assert!(
+                max >= 2.0 * 6e10 - 1.0,
+                "k={k}: farthest round trip is a floor"
+            );
+            assert!(
+                max <= prev * (1.0 + 1e-12),
+                "k={k}: max sub-tour must not grow"
+            );
+            prev = max;
+        }
     }
 
     #[test]

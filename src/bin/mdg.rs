@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! mdg plan     --n 200 --side 200 --range 30 [--seed 42] [--cap K]
-//!              [--greedy] [--out bundle.json] [--profile] [--profile-json PATH]
+//!              [--greedy] [--hier] [--tile-cells F] [--out bundle.json]
+//!              [--profile] [--profile-json PATH]
 //! mdg fleet    --bundle bundle.json (--k K | --deadline SECS)
 //!              [--speed M/S] [--upload SECS] [--out fleet.json]
 //! mdg simulate --bundle bundle.json [--speed M/S] [--upload SECS]
@@ -73,7 +74,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   mdg plan     --n N --side METERS --range METERS [--seed S] [--cap K] [--greedy] [--threads T]
-               [--out bundle.json] [--profile] [--profile-json PATH]
+               [--hier] [--tile-cells F] [--out bundle.json] [--profile] [--profile-json PATH]
   mdg fleet    --bundle bundle.json (--k K | --deadline SECS) [--speed M/S] [--upload SECS] [--out fleet.json]
   mdg simulate --bundle bundle.json [--speed M/S] [--upload SECS] [--battery JOULES]
   mdg runtime  --n N --side METERS --range METERS [--seed S] [--rounds R] [--deaths RATE]
@@ -87,6 +88,9 @@ const USAGE: &str = "usage:
 
 --threads T sets the planner worker-thread count (0 or omitted = auto:
 MDG_THREADS env, else all cores). Plans are bit-identical at any T.
+--hier plans hierarchically (tile the field, plan tiles in parallel,
+stitch + seam touch-up) — the mode for 100k+ sensors. --tile-cells F
+sets the tile side to F × range (omitted = auto-sized by density).
 --profile prints a per-phase timing tree on stderr; --profile-json PATH
 writes the same data as JSONL. Profiling never changes results.";
 
@@ -215,10 +219,29 @@ fn cmd_plan(flags: &Flags) -> Result<(), String> {
             .map_err(|_| "invalid value for --cap".to_string())?;
         cfg.max_sensors_per_pp = Some(cap);
     }
+    let hier = flags.contains_key("hier");
+    if flags.contains_key("tile-cells") && !hier {
+        return Err("--tile-cells only makes sense with --hier".into());
+    }
     let t_plan = std::time::Instant::now();
-    let plan = ShdgPlanner::with_config(cfg)
-        .plan(&network)
-        .map_err(|e| e.to_string())?;
+    let (plan, hier_stats) = if hier {
+        let mut hcfg = mobile_collectors::core::HierConfig {
+            base: cfg,
+            ..mobile_collectors::core::HierConfig::default()
+        };
+        if flags.contains_key("tile-cells") {
+            hcfg.tile_cells = Some(req_positive(flags, "tile-cells")?);
+        }
+        let (plan, stats) = mobile_collectors::core::HierPlanner::with_config(hcfg)
+            .plan_with_stats(&network)
+            .map_err(|e| e.to_string())?;
+        (plan, Some(stats))
+    } else {
+        let plan = ShdgPlanner::with_config(cfg)
+            .plan(&network)
+            .map_err(|e| e.to_string())?;
+        (plan, None)
+    };
     let plan_ms = t_plan.elapsed().as_secs_f64() * 1e3;
     if profiling {
         emit_profile(flags)?;
@@ -233,6 +256,12 @@ fn cmd_plan(flags: &Flags) -> Result<(), String> {
     );
     // Timing goes to stderr: stdout stays byte-deterministic per seed.
     eprintln!("  planning time  : {plan_ms:.1} ms ({threads} threads)");
+    if let Some(s) = hier_stats {
+        println!(
+            "  tiles          : {} occupied / {} total, {:.0} m side, {} spliced stop(s)",
+            s.n_occupied, s.n_tiles, s.tile_side, s.spliced_stops
+        );
+    }
     println!("  polling points : {}", m.n_polling_points);
     println!("  tour           : {:.1} m", m.tour_length);
     println!(
