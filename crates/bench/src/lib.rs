@@ -20,6 +20,7 @@ pub mod scale_hier;
 pub mod scale_par;
 pub mod schemes;
 pub mod serve;
+pub mod serve_hier;
 pub mod table;
 
 pub use params::Params;
@@ -49,6 +50,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "scale_hier",
     "scale_par",
     "serve",
+    "serve_hier",
     "profile",
 ];
 
@@ -77,6 +79,7 @@ pub fn run_experiment(id: &str, params: &Params) -> Option<Table> {
         "scale_hier" => Some(scale_hier::scale_hier(params)),
         "scale_par" => Some(scale_par::scale_par(params)),
         "serve" => Some(serve::serve(params)),
+        "serve_hier" => Some(serve_hier::serve_hier(params)),
         "profile" => Some(profile::profile(params)),
         _ => None,
     }

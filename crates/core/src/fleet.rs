@@ -14,9 +14,10 @@
 //!   sectors around the sink and plan each sector independently — the A3
 //!   ablation alternative.
 
+use crate::hier::HierPlan;
 use crate::plan::GatheringPlan;
 use mdg_geom::{closed_tour_length, Point};
-use mdg_tour::{plan_tour, split_into_k, MatrixCost, Tour};
+use mdg_tour::{plan_tour, split_into_k, EuclideanCost, MatrixCost, Tour};
 use serde::{Deserialize, Serialize};
 
 /// One collector's assignment in a fleet plan.
@@ -124,6 +125,28 @@ fn materialize(plan: &GatheringPlan, splits: Vec<mdg_tour::SplitTour>) -> FleetP
 pub fn plan_fleet(plan: &GatheringPlan, k: usize) -> FleetPlan {
     let (cost, tour) = plan_cost_and_tour(plan);
     materialize(plan, split_into_k(&cost, &tour, k))
+}
+
+/// Like [`plan_fleet`], but without materializing the `O(m²)` distance
+/// matrix: edge costs are evaluated on demand from the coordinates, so
+/// the split works on plans with hundreds of thousands of stops (a
+/// hierarchical plan at n=1M has ~10⁵ polling points; the dense matrix
+/// would need ~100 GB). Produces bit-identical fleets to [`plan_fleet`]
+/// — both compute the same [`mdg_geom::Point::dist`] values, the matrix
+/// path just caches them.
+pub fn plan_fleet_streamed(plan: &GatheringPlan, k: usize) -> FleetPlan {
+    let pts = plan.tour_positions();
+    let cost = EuclideanCost::new(&pts);
+    materialize(plan, split_into_k(&cost, &Tour::identity(pts.len()), k))
+}
+
+/// Splits a retained hierarchical plan across `k` collectors by feeding
+/// its stitched stop sequence — the tile sub-tours in serpentine order —
+/// straight into the Frederickson split, with no intermediate cost
+/// matrix. This is the fleet path that scales with [`HierPlan`]: the
+/// split is `O(m log)` time and `O(m)` memory in the stop count.
+pub fn plan_fleet_hier(hier: &HierPlan, k: usize) -> FleetPlan {
+    plan_fleet_streamed(hier.plan(), k)
 }
 
 /// Finds the smallest fleet whose round completes within
@@ -417,6 +440,46 @@ mod tests {
         assert_eq!(fleet.n_collectors(), 0);
         assert_eq!(fleet.makespan(1.0, 1.0), 0.0);
         plan_fleet_angular(&p, 4).validate(&p).unwrap();
+    }
+
+    #[test]
+    fn streamed_split_is_bit_identical_to_matrix_split() {
+        // The matrix path caches pairwise distances; the streamed path
+        // recomputes them. Same arithmetic, so the fleets — membership,
+        // order, and float lengths — must match exactly.
+        for seed in [1u64, 3, 9] {
+            let (p, _) = plan(180, 350.0, 30.0, seed);
+            for k in [1, 2, 4, 7] {
+                let dense = plan_fleet(&p, k);
+                let streamed = plan_fleet_streamed(&p, k);
+                assert_eq!(dense, streamed, "seed {seed} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn hier_fleet_partitions_a_tiled_plan() {
+        use crate::hier::{HierConfig, HierPlan};
+        let net = Network::build(DeploymentConfig::uniform(700, 600.0).generate(5), 30.0);
+        let hp = HierPlan::build(
+            &net.deployment.sensors,
+            net.deployment.sink,
+            net.range,
+            HierConfig {
+                tile_cells: Some(6.0),
+                ..HierConfig::default()
+            },
+        )
+        .unwrap();
+        for k in [2, 4] {
+            let fleet = plan_fleet_hier(&hp, k);
+            fleet.validate(hp.plan()).unwrap();
+            assert!(fleet.n_collectors() <= k);
+            let served: usize = fleet.collectors.iter().map(|c| c.sensors_served).sum();
+            assert_eq!(served, hp.plan().n_sensors());
+            // And it is exactly the generic split of the same plan.
+            assert_eq!(fleet, plan_fleet(hp.plan(), k));
+        }
     }
 
     #[test]

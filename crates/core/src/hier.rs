@@ -18,26 +18,45 @@
 //!    order: each is opened at its longest edge and oriented to shorten
 //!    the seam; tiles with fewer than three stops are spliced into the
 //!    growing cycle via [`mdg_tour::cheapest_insertion_position`].
-//! 4. **Touch-up** — a candidate-list 2-opt seeded *only at the seam
-//!    vertices* ([`mdg_tour::two_opt_neighbors_seeded`]) repairs
-//!    cross-tile crossings at a cost proportional to the seams.
+//! 4. **Touch-up** — candidate-list 2-opt and Or-opt seeded *only at the
+//!    seam vertices* ([`mdg_tour::two_opt_neighbors_seeded`],
+//!    [`mdg_tour::or_opt_neighbors_seeded`]) repair cross-tile crossings
+//!    at a cost proportional to the seams.
+//!
+//! ## Incremental replanning
+//!
+//! The pipeline's intermediate state — the tiling, each tile's member
+//! sensors, and each tile's pre-stitch sub-tour — is retained in
+//! [`HierPlan`], which makes deltas local: a sensor death or addition
+//! dirties only the tile that owns its position ([`mdg_geom::Tiling::tile_of`]),
+//! [`HierPlan::apply_delta`] re-runs cover → prune → tour on the dirty
+//! tiles only, re-stitches from the retained sub-tours (an `O(stops)`
+//! concatenation), and re-polishes only the seams adjacent to dirty
+//! tiles. When a delta dirties at least half the occupied tiles — or
+//! changes the transmission range, which invalidates every cover — the
+//! incremental path escalates to a full re-plan.
 //!
 //! ## Determinism
 //!
-//! Hierarchical plans are bit-identical at any thread count. The tile
-//! fan-out uses the order-preserving `mdg_par::par_map`, nested parallel
-//! calls inside a tile fall back inline (so per-tile arithmetic never
-//! depends on sibling tiles), and stitching consumes the tile results in
-//! serpentine (index-derived) order with strict-inequality tie-breaks.
+//! Hierarchical plans — cold and after any delta sequence — are
+//! bit-identical at any thread count. The tile fan-out uses the
+//! order-preserving `mdg_par::par_map`, nested parallel calls inside a
+//! tile fall back inline (so per-tile arithmetic never depends on
+//! sibling tiles), and stitching consumes the tile results in serpentine
+//! (index-derived) order with strict-inequality tie-breaks. Dirty tiles
+//! are re-planned in the same serpentine order.
 //!
 //! ## Quality
 //!
 //! The price of locality is a slightly longer tour: each tile is toured
 //! in isolation, so only the seams are globally optimized. The S5 sweep
 //! (`BENCH_scale_hier.json`) gates the regression at ≤ 1.25× the flat
-//! tour on fields both planners can solve.
+//! tour on fields both planners can solve; the serve-layer equivalence
+//! suite additionally bounds post-churn incremental plans against a cold
+//! re-plan of the same field.
 
 use crate::error::PlanError;
+use crate::mutate::UNASSIGNED;
 use crate::plan::{GatheringPlan, PollingPoint};
 use crate::planner::{CandidateMode, CoveringStrategy, PlannerConfig};
 use crate::tour_aware::{tour_aware_cover, TourAwareConfig};
@@ -45,8 +64,8 @@ use mdg_cover::{capacitated_greedy_cover, greedy_cover, prune_cover, CoverageIns
 use mdg_geom::{Point, Tiling};
 use mdg_net::Network;
 use mdg_tour::{
-    cheapest_insertion_position, improve, improve_neighbors, two_opt_neighbors_seeded,
-    ImproveConfig, MatrixCost, NeighborLists, Tour,
+    cheapest_insertion_position, improve, improve_neighbors, or_opt_neighbors_seeded,
+    two_opt_neighbors_seeded, ImproveConfig, MatrixCost, NeighborLists, Tour,
 };
 
 /// Stop count (including the sink) above which a tile's tour switches
@@ -57,6 +76,9 @@ const DENSE_TOUR_LIMIT: usize = 512;
 /// Neighbors per city in the seam touch-up's candidate lists. Seam
 /// repairs are local, so a short list suffices.
 const TOUCH_UP_NEIGHBORS: usize = 8;
+
+/// Longest segment the Or-opt half of the touch-up may relocate.
+const TOUCH_UP_MAX_SEGMENT: usize = 3;
 
 /// Hierarchical planner configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,7 +95,7 @@ pub struct HierConfig {
     /// Auto-sizing target: sensors per tile. Small enough that a tile
     /// plans in milliseconds, large enough that seams are rare.
     pub target_per_tile: usize,
-    /// Run the seam-seeded 2-opt touch-up after stitching.
+    /// Run the seam-seeded 2-opt/Or-opt touch-up after stitching.
     pub touch_up: bool,
 }
 
@@ -101,6 +123,28 @@ pub struct HierStats {
     pub tile_side: f64,
 }
 
+/// What [`HierPlan::apply_delta`] did, for session stats and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierDeltaReport {
+    /// The delta escalated to a full re-plan (≥ 50% of occupied tiles
+    /// dirty, or a range change).
+    pub full_rebuild: bool,
+    /// Tiles dirtied by the delta (0 = the delta was a no-op).
+    pub dirty_tiles: usize,
+    /// Occupied tiles after the delta.
+    pub occupied_tiles: usize,
+    /// Polling points re-planned (dirty tiles' stops, or the whole plan
+    /// on escalation).
+    pub replanned_stops: usize,
+}
+
+impl HierDeltaReport {
+    /// True when the delta changed nothing (no dirty tiles, no rebuild).
+    pub fn is_noop(&self) -> bool {
+        !self.full_rebuild && self.dirty_tiles == 0
+    }
+}
+
 /// The hierarchical tiled planner. See the module docs for the pipeline.
 ///
 /// ```
@@ -118,13 +162,14 @@ pub struct HierPlanner {
 
 /// A planned tile: its stops in cycle order plus the assignment choices,
 /// all in *global* sensor ids.
+#[derive(Debug, Clone)]
 struct TilePlan {
     /// Stop positions, cycle order.
     stops: Vec<Point>,
     /// Global sensor id of each stop, parallel to `stops`.
     cands: Vec<u32>,
-    /// For each tile sensor (subset order): global sensor id of the stop
-    /// it uploads to.
+    /// For each live tile member (member order): global sensor id of the
+    /// stop it uploads to.
     chosen: Vec<u32>,
 }
 
@@ -151,7 +196,73 @@ impl HierPlanner {
 
     /// Like [`HierPlanner::plan`], also reporting tiling statistics.
     pub fn plan_with_stats(&self, net: &Network) -> Result<(GatheringPlan, HierStats), PlanError> {
-        let cfg = &self.config;
+        HierPlan::build(
+            &net.deployment.sensors,
+            net.deployment.sink,
+            net.range,
+            self.config,
+        )
+        .map(HierPlan::into_plan_and_stats)
+    }
+}
+
+/// Convenience: hierarchical plan with the default configuration.
+pub fn plan_hier(net: &Network) -> Result<GatheringPlan, PlanError> {
+    HierPlanner::new().plan(net)
+}
+
+/// A retained hierarchical plan: the finished [`GatheringPlan`] plus the
+/// intermediate state needed to update it incrementally — the tiling,
+/// each tile's live member sensors, and each tile's pre-stitch sub-tour.
+///
+/// `HierPlan` does **not** own the sensor coordinates: the caller (a
+/// warm serving session, typically) keeps the growing `Vec<Point>` and
+/// alive mask and passes them to [`HierPlan::apply_delta`], so a
+/// million-sensor field is stored once, not twice.
+///
+/// ```
+/// use mdg_core::hier::{HierConfig, HierPlan};
+/// use mdg_net::DeploymentConfig;
+/// use mdg_geom::Point;
+///
+/// let dep = DeploymentConfig::uniform(500, 500.0).generate(3);
+/// let mut sensors = dep.sensors.clone();
+/// let mut alive = vec![true; sensors.len()];
+/// let cfg = HierConfig { tile_cells: Some(5.0), ..HierConfig::default() };
+/// let mut hp = HierPlan::build(&sensors, dep.sink, 30.0, cfg).unwrap();
+///
+/// alive[7] = false;
+/// sensors.push(Point::new(250.0, 250.0));
+/// alive.push(true);
+/// let report = hp.apply_delta(&sensors, &alive, &[7], None).unwrap();
+/// assert!(!report.full_rebuild);
+/// hp.plan().validate_live(&sensors, hp.range(), &alive).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct HierPlan {
+    cfg: HierConfig,
+    sink: Point,
+    range: f64,
+    tiling: Tiling,
+    /// Per-tile live member sensor ids, ascending; indexed by tile.
+    members: Vec<Vec<u32>>,
+    /// Per-tile retained sub-plans; `None` = no live members.
+    tiles: Vec<Option<TilePlan>>,
+    /// Sensor id slots the plan's assignment spans (live + dead).
+    n_sensors: usize,
+    plan: GatheringPlan,
+    stats: HierStats,
+}
+
+impl HierPlan {
+    /// Plans `sensors` (all considered alive) hierarchically and retains
+    /// the per-tile state for incremental updates.
+    pub fn build(
+        sensors: &[Point],
+        sink: Point,
+        range: f64,
+        cfg: HierConfig,
+    ) -> Result<Self, PlanError> {
         if let CandidateMode::Grid { .. } = cfg.base.candidates {
             return Err(PlanError::Unsupported(
                 "hierarchical planning requires sensor-site candidates \
@@ -159,106 +270,376 @@ impl HierPlanner {
                     .into(),
             ));
         }
-        let sensors = &net.deployment.sensors;
-        let sink = net.deployment.sink;
-        let range = net.range;
-        let n = sensors.len();
         let mut sp_hier = mdg_obs::span("hier");
-        sp_hier.add_items(n as u64);
-        if n == 0 {
-            let stats = HierStats {
+        sp_hier.add_items(sensors.len() as u64);
+
+        let side = tile_side_for(&cfg, sensors, range)?;
+        let (tiling, members) = {
+            let _sp = mdg_obs::span("tiling");
+            let tiling = Tiling::build(sensors, side);
+            let members: Vec<Vec<u32>> = (0..tiling.n_tiles())
+                .map(|t| tiling.points_in(t).to_vec())
+                .collect();
+            (tiling, members)
+        };
+        let tiles = plan_all_tiles(sensors, &tiling, &members, range, &cfg.base);
+        let mut hp = HierPlan {
+            cfg,
+            sink,
+            range,
+            tiling,
+            members,
+            tiles,
+            n_sensors: sensors.len(),
+            plan: GatheringPlan::new(sink, Vec::new(), Vec::new()),
+            stats: HierStats {
                 n_tiles: 0,
                 n_occupied: 0,
                 spliced_stops: 0,
-                tile_side: 0.0,
-            };
-            return Ok((GatheringPlan::new(sink, Vec::new(), Vec::new()), stats));
-        }
-
-        // 1. Tiling.
-        let side = self.tile_side(sensors, range)?;
-        let (tiling, tiles) = {
-            let _sp = mdg_obs::span("tiling");
-            let tiling = Tiling::build(sensors, side);
-            let tiles: Vec<usize> = tiling.non_empty().collect();
-            (tiling, tiles)
+                tile_side: side,
+            },
         };
-        mdg_obs::counter("hier/tiles").add(tiles.len() as u64);
+        hp.materialize(sensors, None);
+        Ok(hp)
+    }
 
-        // 2. Per-tile planning, fanned out across tiles. Each tile is a
-        //    pure function of its own sensors; `par_map` preserves order
-        //    and nested parallel calls inside a tile run inline, so the
-        //    result vector is bit-identical at any thread count.
-        let tile_plans: Vec<TilePlan> = {
-            let mut sp = mdg_obs::span("tiles");
-            sp.add_items(tiles.len() as u64);
-            let base = cfg.base;
-            mdg_par::par_map(tiles.len(), |k| {
-                let t = tiles[k];
-                plan_tile(
-                    sensors,
-                    tiling.points_in(t),
-                    range,
-                    tiling.tile_center(t),
-                    &base,
-                )
-            })
-        };
+    /// The current gathering plan. Its `assignment` spans every sensor id
+    /// slot ever planned; dead sensors are [`UNASSIGNED`], so validate
+    /// with [`GatheringPlan::validate_live`] once deltas have run.
+    pub fn plan(&self) -> &GatheringPlan {
+        &self.plan
+    }
 
-        // Assignment choices scatter into a field-wide table (tiles
-        // partition the sensors, so each slot is written exactly once).
-        let mut chosen = vec![u32::MAX; n];
-        for (k, tp) in tile_plans.iter().enumerate() {
-            for (i, &g) in tiling.points_in(tiles[k]).iter().enumerate() {
-                chosen[g as usize] = tp.chosen[i];
+    /// Tiling statistics for the current plan.
+    pub fn stats(&self) -> HierStats {
+        self.stats
+    }
+
+    /// The transmission range the current plan covers at.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Sensor id slots the plan spans (live + dead).
+    pub fn n_sensors(&self) -> usize {
+        self.n_sensors
+    }
+
+    /// Consumes the retained state, yielding the plan and its stats.
+    pub fn into_plan_and_stats(self) -> (GatheringPlan, HierStats) {
+        (self.plan, self.stats)
+    }
+
+    /// Rough heap footprint of the retained state in bytes (tiling CSR
+    /// buckets, member lists, sub-tours, and the materialized plan) —
+    /// the serving layer's byte-aware session eviction reads this.
+    pub fn approx_bytes(&self) -> u64 {
+        let tiling = self.n_sensors as u64 * 4 + self.tiling.n_tiles() as u64 * 4;
+        let members: u64 = self
+            .members
+            .iter()
+            .map(|m| 24 + m.len() as u64 * 4)
+            .sum::<u64>();
+        let tiles: u64 = self
+            .tiles
+            .iter()
+            .flatten()
+            .map(|tp| 72 + tp.stops.len() as u64 * 20 + tp.chosen.len() as u64 * 4)
+            .sum::<u64>();
+        tiling + members + tiles + self.plan.approx_bytes()
+    }
+
+    /// Applies a delta — sensor deaths, appended sensors, and/or a range
+    /// change — by re-planning only the tiles it dirties.
+    ///
+    /// `sensors`/`alive` are the caller's full arrays *after* the delta:
+    /// ids past the previous length are taken as newly added (and must be
+    /// alive); `died` lists the ids newly marked dead (already-dead ids
+    /// are tolerated and ignored). Deaths and additions dirty the owning
+    /// tile of their position; dirty tiles re-run cover → prune → tour in
+    /// serpentine order on `mdg-par`, the cycle is re-stitched from the
+    /// retained sub-tours, and the seam touch-up is seeded only at seams
+    /// adjacent to dirty tiles. If at least half the occupied tiles are
+    /// dirty — or the range changed, which invalidates every tile's
+    /// cover — the whole plan is rebuilt (fresh tiling included), exactly
+    /// like [`HierPlan::build`] on the live field.
+    ///
+    /// The result is bit-identical at any thread count, and identical to
+    /// replaying the same delta sequence on any other machine.
+    pub fn apply_delta(
+        &mut self,
+        sensors: &[Point],
+        alive: &[bool],
+        died: &[u32],
+        new_range: Option<f64>,
+    ) -> Result<HierDeltaReport, PlanError> {
+        assert_eq!(sensors.len(), alive.len(), "alive mask size");
+        assert!(
+            sensors.len() >= self.n_sensors,
+            "sensor id slots never shrink (deaths are mask flips)"
+        );
+        let n_new = sensors.len();
+        let _sp_hier = mdg_obs::span("hier");
+        let mut sp = mdg_obs::span("delta");
+        let n_added = n_new - self.n_sensors;
+        sp.add_items((died.len() + n_added) as u64);
+
+        let range_changed = new_range.is_some_and(|r| (r - self.range).abs() > 1e-12);
+        let occupied_before = self.stats.n_occupied;
+
+        // 1. Route the delta to its dirty tiles via the position → tile
+        //    lattice map. Member lists are updated here even when we end
+        //    up escalating — the full rebuild recomputes them anyway.
+        let mut dirty = vec![false; self.tiling.n_tiles()];
+        let mut n_dirty = 0usize;
+        {
+            let _sp = mdg_obs::span("dirty_map");
+            for &d in died {
+                let s = d as usize;
+                if s >= n_new {
+                    continue;
+                }
+                let t = self.tiling.tile_of(sensors[s]);
+                if let Ok(i) = self.members[t].binary_search(&d) {
+                    self.members[t].remove(i);
+                    if !dirty[t] {
+                        dirty[t] = true;
+                        n_dirty += 1;
+                    }
+                }
+            }
+            for g in self.n_sensors..n_new {
+                debug_assert!(alive[g], "appended sensors must be alive");
+                let t = self.tiling.tile_of(sensors[g]);
+                // Appended ids exceed every existing member id and arrive
+                // in ascending order, so pushing keeps the list sorted.
+                self.members[t].push(g as u32);
+                if !dirty[t] {
+                    dirty[t] = true;
+                    n_dirty += 1;
+                }
             }
         }
+        self.n_sensors = n_new;
+        if let Some(r) = new_range {
+            self.range = r;
+        }
 
-        // 3. Stitch sub-tours into one depot-anchored cycle.
+        if n_dirty == 0 && !range_changed {
+            return Ok(HierDeltaReport {
+                full_rebuild: false,
+                dirty_tiles: 0,
+                occupied_tiles: occupied_before,
+                replanned_stops: 0,
+            });
+        }
+
+        // 2. Escalate when locality is gone: a range change invalidates
+        //    every tile's cover, and once half the occupied tiles are
+        //    dirty a fresh tiling (re-sized to the live density) beats
+        //    patching the old one.
+        if range_changed || 2 * n_dirty >= occupied_before.max(1) {
+            mdg_obs::counter("hier/delta_full_replans").add(1);
+            self.rebuild_full(sensors, alive)?;
+            return Ok(HierDeltaReport {
+                full_rebuild: true,
+                dirty_tiles: n_dirty,
+                occupied_tiles: self.stats.n_occupied,
+                replanned_stops: self.plan.n_polling_points(),
+            });
+        }
+
+        // 3. Re-plan the dirty tiles only, fanned out in serpentine order.
+        mdg_obs::counter("hier/dirty_tiles").add(n_dirty as u64);
+        let dirty_list: Vec<usize> = self.tiling.serpentine().filter(|&t| dirty[t]).collect();
+        let replanned: Vec<Option<TilePlan>> = {
+            let mut sp = mdg_obs::span("replan_tiles");
+            sp.add_items(dirty_list.len() as u64);
+            let members = &self.members;
+            let tiling = &self.tiling;
+            let range = self.range;
+            let base = self.cfg.base;
+            mdg_par::par_map(dirty_list.len(), |k| {
+                let t = dirty_list[k];
+                if members[t].is_empty() {
+                    None
+                } else {
+                    Some(plan_tile(
+                        sensors,
+                        &members[t],
+                        range,
+                        tiling.tile_center(t),
+                        &base,
+                    ))
+                }
+            })
+        };
+        let mut replanned_stops = 0usize;
+        for (k, tp) in replanned.into_iter().enumerate() {
+            if let Some(tp) = &tp {
+                replanned_stops += tp.stops.len();
+            }
+            self.tiles[dirty_list[k]] = tp;
+        }
+
+        // 4. Re-stitch from the retained sub-tours and polish only the
+        //    dirty-adjacent seams.
+        self.materialize(sensors, Some(&dirty));
+        Ok(HierDeltaReport {
+            full_rebuild: false,
+            dirty_tiles: n_dirty,
+            occupied_tiles: self.stats.n_occupied,
+            replanned_stops,
+        })
+    }
+
+    /// Full re-plan of the live field: fresh tiling sized to the live
+    /// density, every occupied tile re-planned, all seams polished.
+    fn rebuild_full(&mut self, sensors: &[Point], alive: &[bool]) -> Result<(), PlanError> {
+        let _sp = mdg_obs::span("rebuild");
+        let live: Vec<Point> = sensors
+            .iter()
+            .zip(alive)
+            .filter_map(|(&p, &a)| a.then_some(p))
+            .collect();
+        let side = tile_side_for(&self.cfg, &live, self.range)?;
+        // The tiling is built over every slot (geometry only — dead
+        // sensors still anchor their id in the CSR buckets) and the
+        // member lists filter to the alive ones.
+        let tiling = Tiling::build(sensors, side);
+        self.members = (0..tiling.n_tiles())
+            .map(|t| {
+                tiling
+                    .points_in(t)
+                    .iter()
+                    .copied()
+                    .filter(|&g| alive[g as usize])
+                    .collect()
+            })
+            .collect();
+        self.tiles = plan_all_tiles(sensors, &tiling, &self.members, self.range, &self.cfg.base);
+        self.tiling = tiling;
+        self.materialize(sensors, None);
+        Ok(())
+    }
+
+    /// Rebuilds the materialized [`GatheringPlan`] from the retained
+    /// per-tile sub-tours: serpentine stitch, seam touch-up, assignment.
+    ///
+    /// `dirty`: `None` polishes every seam (cold build / full rebuild);
+    /// `Some(mask)` seeds the touch-up only at seam stops whose tour
+    /// neighborhood touches a dirty tile.
+    fn materialize(&mut self, sensors: &[Point], dirty: Option<&[bool]>) {
+        let ordered: Vec<&TilePlan> = self
+            .tiling
+            .serpentine()
+            .filter_map(|t| self.tiles[t].as_ref())
+            .collect();
+        let n_occupied = ordered.len();
         let (mut cycle_pts, mut cands, seam, spliced) = {
             let _sp = mdg_obs::span("stitch");
-            stitch(sink, &tile_plans)
+            stitch(self.sink, &ordered)
         };
         mdg_obs::counter("hier/spliced_stops").add(spliced as u64);
 
-        // 4. Seam-seeded 2-opt touch-up: only cross-tile edges (and what
-        //    repairing them exposes) are revisited.
-        if cfg.touch_up && cfg.base.improve_passes > 0 && cycle_pts.len() >= 5 {
+        if self.cfg.touch_up && self.cfg.base.improve_passes > 0 && cycle_pts.len() >= 5 {
             let mut sp = mdg_obs::span("touch_up");
             sp.add_items(cycle_pts.len() as u64);
-            let nl = NeighborLists::build(&cycle_pts, TOUCH_UP_NEIGHBORS);
-            let mut seeds: Vec<usize> = vec![0]; // the sink joins two seams
-            seeds.extend(
-                seam.iter()
-                    .enumerate()
-                    .filter_map(|(k, &s)| s.then_some(k + 1)),
-            );
-            let tour = two_opt_neighbors_seeded(
-                &cycle_pts,
-                Tour::identity(cycle_pts.len()),
-                &nl,
-                1e-9,
-                &seeds,
-            );
-            let order = tour.order();
-            debug_assert_eq!(order[0], 0, "normalized tours lead with the depot");
-            cycle_pts = order.iter().map(|&i| cycle_pts[i]).collect();
-            cands = order[1..].iter().map(|&i| cands[i - 1]).collect();
+            let m = cands.len();
+            let seeds: Vec<usize> = match dirty {
+                None => {
+                    // The sink joins two seams; every flagged stop is one.
+                    let mut seeds = vec![0usize];
+                    seeds.extend(
+                        seam.iter()
+                            .enumerate()
+                            .filter_map(|(k, &s)| s.then_some(k + 1)),
+                    );
+                    seeds
+                }
+                Some(mask) => {
+                    // Only seams whose tour neighborhood touches a dirty
+                    // tile need re-polishing; clean seams were polished
+                    // when their tiles last changed.
+                    let stop_dirty: Vec<bool> = cands
+                        .iter()
+                        .map(|&c| mask[self.tiling.tile_of(sensors[c as usize])])
+                        .collect();
+                    let mut seeds = Vec::new();
+                    if stop_dirty[0] || stop_dirty[m - 1] {
+                        seeds.push(0);
+                    }
+                    for k in 0..m {
+                        if !seam[k] {
+                            continue;
+                        }
+                        let prev = if k == 0 { m - 1 } else { k - 1 };
+                        let next = if k + 1 == m { 0 } else { k + 1 };
+                        if stop_dirty[k] || stop_dirty[prev] || stop_dirty[next] {
+                            seeds.push(k + 1);
+                        }
+                    }
+                    seeds
+                }
+            };
+            if !seeds.is_empty() {
+                let nl = NeighborLists::build(&cycle_pts, TOUCH_UP_NEIGHBORS);
+                let tour = two_opt_neighbors_seeded(
+                    &cycle_pts,
+                    Tour::identity(cycle_pts.len()),
+                    &nl,
+                    1e-9,
+                    &seeds,
+                );
+                let tour = or_opt_neighbors_seeded(
+                    &cycle_pts,
+                    tour,
+                    &nl,
+                    TOUCH_UP_MAX_SEGMENT,
+                    1e-9,
+                    &seeds,
+                );
+                let order = tour.order();
+                debug_assert_eq!(order[0], 0, "normalized tours lead with the depot");
+                cycle_pts = order.iter().map(|&i| cycle_pts[i]).collect();
+                cands = order[1..].iter().map(|&i| cands[i - 1]).collect();
+            }
         }
 
-        // 5. Final assignment: map each sensor's chosen stop to its tour
-        //    position and materialize the plan.
-        let plan = {
+        // Assignment: scatter each tile's choices into an id-indexed
+        // table (live members partition across tiles, so each slot is
+        // written at most once; dead slots stay UNASSIGNED), then map the
+        // chosen stop ids to tour positions.
+        self.plan = {
             let _sp = mdg_obs::span("assign");
+            let n = self.n_sensors;
+            let mut chosen = vec![u32::MAX; n];
+            for (t, tp) in self.tiles.iter().enumerate() {
+                if let Some(tp) = tp {
+                    for (i, &g) in self.members[t].iter().enumerate() {
+                        chosen[g as usize] = tp.chosen[i];
+                    }
+                }
+            }
             let mut pp_of = vec![u32::MAX; n];
             for (k, &c) in cands.iter().enumerate() {
                 pp_of[c as usize] = k as u32;
             }
-            let assignment: Vec<usize> =
-                chosen.iter().map(|&c| pp_of[c as usize] as usize).collect();
+            let assignment: Vec<usize> = chosen
+                .iter()
+                .map(|&c| {
+                    if c == u32::MAX {
+                        UNASSIGNED
+                    } else {
+                        pp_of[c as usize] as usize
+                    }
+                })
+                .collect();
             let mut covered: Vec<Vec<u32>> = vec![Vec::new(); cands.len()];
             for (s, &k) in assignment.iter().enumerate() {
-                covered[k].push(s as u32);
+                if k != UNASSIGNED {
+                    covered[k].push(s as u32);
+                }
             }
             let polling_points: Vec<PollingPoint> = cands
                 .iter()
@@ -269,42 +650,72 @@ impl HierPlanner {
                     covered: cov,
                 })
                 .collect();
-            GatheringPlan::new(sink, polling_points, assignment)
+            GatheringPlan::new(self.sink, polling_points, assignment)
         };
-        let stats = HierStats {
-            n_tiles: tiling.n_tiles(),
-            n_occupied: tiles.len(),
+        debug_assert!(
+            (self.plan.tour_length - mdg_geom::closed_tour_length(&cycle_pts)).abs() < 1e-6
+        );
+        self.stats = HierStats {
+            n_tiles: self.tiling.n_tiles(),
+            n_occupied,
             spliced_stops: spliced,
-            tile_side: tiling.side(),
+            tile_side: self.tiling.side(),
         };
-        debug_assert!((plan.tour_length - mdg_geom::closed_tour_length(&cycle_pts)).abs() < 1e-6);
-        Ok((plan, stats))
-    }
-
-    /// Resolves the tile side in meters: explicit `tile_cells × range`,
-    /// or auto-sized so the expected tile population is
-    /// `target_per_tile`. Auto tiles never drop below `2 × range` —
-    /// tiles narrower than a coverage disk fragment the cover badly.
-    fn tile_side(&self, sensors: &[Point], range: f64) -> Result<f64, PlanError> {
-        if let Some(cells) = self.config.tile_cells {
-            if !(cells > 0.0 && cells.is_finite()) {
-                return Err(PlanError::Unsupported(format!(
-                    "tile size must be a positive finite number of range-cells, got {cells}"
-                )));
-            }
-            return Ok(cells * range);
-        }
-        let bb = mdg_geom::Aabb::from_points(sensors).expect("n > 0 checked by caller");
-        let area = (bb.width() * bb.height()).max(1e-12);
-        let target = self.config.target_per_tile.max(1) as f64;
-        let side = (target * area / sensors.len() as f64).sqrt();
-        Ok(side.max(2.0 * range))
     }
 }
 
-/// Convenience: hierarchical plan with the default configuration.
-pub fn plan_hier(net: &Network) -> Result<GatheringPlan, PlanError> {
-    HierPlanner::new().plan(net)
+/// Resolves the tile side in meters: explicit `tile_cells × range`, or
+/// auto-sized so the expected tile population is `target_per_tile`. Auto
+/// tiles never drop below `2 × range` — tiles narrower than a coverage
+/// disk fragment the cover badly.
+fn tile_side_for(cfg: &HierConfig, live: &[Point], range: f64) -> Result<f64, PlanError> {
+    if let Some(cells) = cfg.tile_cells {
+        if !(cells > 0.0 && cells.is_finite()) {
+            return Err(PlanError::Unsupported(format!(
+                "tile size must be a positive finite number of range-cells, got {cells}"
+            )));
+        }
+        return Ok(cells * range);
+    }
+    if live.is_empty() {
+        return Ok((2.0 * range).max(1.0));
+    }
+    let bb = mdg_geom::Aabb::from_points(live).expect("non-empty live set");
+    let area = (bb.width() * bb.height()).max(1e-12);
+    let target = cfg.target_per_tile.max(1) as f64;
+    let side = (target * area / live.len() as f64).sqrt();
+    Ok(side.max(2.0 * range))
+}
+
+/// Plans every occupied tile (non-empty member list), fanned out across
+/// tiles in serpentine order. Each tile is a pure function of its own
+/// members; `par_map` preserves order and nested parallel calls inside a
+/// tile run inline, so the result is bit-identical at any thread count.
+fn plan_all_tiles(
+    sensors: &[Point],
+    tiling: &Tiling,
+    members: &[Vec<u32>],
+    range: f64,
+    base: &PlannerConfig,
+) -> Vec<Option<TilePlan>> {
+    let occupied: Vec<usize> = tiling
+        .serpentine()
+        .filter(|&t| !members[t].is_empty())
+        .collect();
+    mdg_obs::counter("hier/tiles").add(occupied.len() as u64);
+    let planned: Vec<TilePlan> = {
+        let mut sp = mdg_obs::span("tiles");
+        sp.add_items(occupied.len() as u64);
+        mdg_par::par_map(occupied.len(), |k| {
+            let t = occupied[k];
+            plan_tile(sensors, &members[t], range, tiling.tile_center(t), base)
+        })
+    };
+    let mut tiles: Vec<Option<TilePlan>> = vec![None; tiling.n_tiles()];
+    for (k, tp) in planned.into_iter().enumerate() {
+        tiles[occupied[k]] = Some(tp);
+    }
+    tiles
 }
 
 /// Plans one tile: local cover → prune → cycle → assignment, mirroring
@@ -446,7 +857,7 @@ fn cycle_over(inst: &CoverageInstance, selected: &[usize], improve_passes: usize
 /// Returns `(cycle positions with sink first, global sensor id per stop,
 /// seam flag per stop, spliced stop count)`.
 #[allow(clippy::type_complexity)]
-fn stitch(sink: Point, tile_plans: &[TilePlan]) -> (Vec<Point>, Vec<u32>, Vec<bool>, usize) {
+fn stitch(sink: Point, tile_plans: &[&TilePlan]) -> (Vec<Point>, Vec<u32>, Vec<bool>, usize) {
     let total: usize = tile_plans.iter().map(|tp| tp.stops.len()).sum();
     let mut cycle_pts: Vec<Point> = Vec::with_capacity(total + 1);
     cycle_pts.push(sink);
@@ -454,7 +865,7 @@ fn stitch(sink: Point, tile_plans: &[TilePlan]) -> (Vec<Point>, Vec<u32>, Vec<bo
     let mut seam: Vec<bool> = Vec::with_capacity(total);
     let mut deferred: Vec<(Point, u32)> = Vec::new();
 
-    for tp in tile_plans {
+    for &tp in tile_plans {
         let m = tp.stops.len();
         if m == 0 {
             continue;
@@ -617,12 +1028,13 @@ mod tests {
             cands: vec![],
             chosen: vec![],
         };
+        let (e1, e2, e3) = (empty(), empty(), empty());
         let lone = TilePlan {
             stops: vec![Point::new(30.0, 5.0)],
             cands: vec![4],
             chosen: vec![],
         };
-        let (pts, cands, seam, spliced) = stitch(sink, &[empty(), square, empty(), lone, empty()]);
+        let (pts, cands, seam, spliced) = stitch(sink, &[&e1, &square, &e2, &lone, &e3]);
         assert_eq!(pts.len(), 6, "sink + 4 square stops + 1 spliced");
         assert_eq!(cands.len(), 5);
         assert_eq!(seam.len(), 5);
@@ -630,14 +1042,7 @@ mod tests {
         assert!(cands.contains(&4), "the lone stop was spliced in");
 
         // All tiles empty: just the sink, nothing spliced.
-        let (pts, cands, _, spliced) = stitch(
-            sink,
-            &[TilePlan {
-                stops: vec![],
-                cands: vec![],
-                chosen: vec![],
-            }],
-        );
+        let (pts, cands, _, spliced) = stitch(sink, &[&e1]);
         assert_eq!(pts, vec![sink]);
         assert!(cands.is_empty());
         assert_eq!(spliced, 0);
@@ -743,5 +1148,210 @@ mod tests {
                 polished.tour_length
             );
         }
+    }
+
+    // ---- retained HierPlan / apply_delta -------------------------------
+
+    /// A multi-tile field with its (initially all-alive) mask.
+    fn field(n: usize, side: f64, seed: u64) -> (Vec<Point>, Point, Vec<bool>) {
+        let dep = DeploymentConfig::uniform(n, side).generate(seed);
+        let alive = vec![true; n];
+        (dep.sensors, dep.sink, alive)
+    }
+
+    fn multi_tile_cfg() -> HierConfig {
+        HierConfig {
+            tile_cells: Some(6.0), // 180 m tiles
+            ..HierConfig::default()
+        }
+    }
+
+    #[test]
+    fn retained_build_matches_planner_output() {
+        let net = net(600, 600.0, 3);
+        let cfg = multi_tile_cfg();
+        let (via_planner, stats_p) = HierPlanner::with_config(cfg).plan_with_stats(&net).unwrap();
+        let hp =
+            HierPlan::build(&net.deployment.sensors, net.deployment.sink, net.range, cfg).unwrap();
+        assert_eq!(hp.plan(), &via_planner);
+        assert_eq!(hp.stats(), stats_p);
+        assert!(hp.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn clustered_death_replans_only_owning_tiles() {
+        let (mut_sensors, sink, mut alive) = field(800, 600.0, 3);
+        let sensors = mut_sensors;
+        let mut hp = HierPlan::build(&sensors, sink, 30.0, multi_tile_cfg()).unwrap();
+        assert!(hp.stats().n_occupied > 4, "need a real multi-tile field");
+
+        // Kill the three lowest-id sensors in one corner tile.
+        let t0 = hp.tiling.tile_of(sensors[0]);
+        let died: Vec<u32> = sensors
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| hp.tiling.tile_of(p) == t0)
+            .take(3)
+            .map(|(s, _)| s as u32)
+            .collect();
+        assert!(!died.is_empty());
+        for &d in &died {
+            alive[d as usize] = false;
+        }
+        let report = hp.apply_delta(&sensors, &alive, &died, None).unwrap();
+        assert!(!report.full_rebuild);
+        assert_eq!(report.dirty_tiles, 1, "one tile owns all three deaths");
+        assert!(report.replanned_stops < hp.plan().n_polling_points());
+        hp.plan()
+            .validate_live(&sensors, hp.range(), &alive)
+            .unwrap();
+        assert!(hp.plan().unassigned_sensors(&alive).is_empty());
+    }
+
+    #[test]
+    fn additions_extend_the_plan_incrementally() {
+        let (mut sensors, sink, mut alive) = field(700, 600.0, 5);
+        let mut hp = HierPlan::build(&sensors, sink, 30.0, multi_tile_cfg()).unwrap();
+        sensors.push(Point::new(300.0, 310.0));
+        sensors.push(Point::new(302.0, 308.0));
+        alive.extend([true, true]);
+        let report = hp.apply_delta(&sensors, &alive, &[], None).unwrap();
+        assert!(!report.full_rebuild);
+        assert_eq!(report.dirty_tiles, 1, "co-located additions share a tile");
+        assert_eq!(hp.plan().assignment.len(), 702);
+        hp.plan()
+            .validate_live(&sensors, hp.range(), &alive)
+            .unwrap();
+    }
+
+    #[test]
+    fn noop_delta_leaves_the_plan_untouched() {
+        let (sensors, sink, alive) = field(500, 500.0, 9);
+        let mut hp = HierPlan::build(&sensors, sink, 30.0, multi_tile_cfg()).unwrap();
+        let before = hp.plan().clone();
+        // Already-dead / unknown ids are tolerated and ignored; a range
+        // "change" within tolerance is a no-op too.
+        let report = hp.apply_delta(&sensors, &alive, &[], Some(30.0)).unwrap();
+        assert!(report.is_noop());
+        assert_eq!(hp.plan(), &before);
+    }
+
+    #[test]
+    fn range_change_escalates_to_full_rebuild() {
+        let (sensors, sink, alive) = field(600, 600.0, 4);
+        let mut hp = HierPlan::build(&sensors, sink, 30.0, multi_tile_cfg()).unwrap();
+        let report = hp.apply_delta(&sensors, &alive, &[], Some(45.0)).unwrap();
+        assert!(report.full_rebuild);
+        assert_eq!(hp.range(), 45.0);
+        hp.plan().validate_live(&sensors, 45.0, &alive).unwrap();
+        // The rebuilt plan matches a cold build at the new range exactly.
+        let cold = HierPlan::build(&sensors, sink, 45.0, multi_tile_cfg()).unwrap();
+        assert_eq!(hp.plan(), cold.plan());
+    }
+
+    #[test]
+    fn mass_death_escalates_to_full_rebuild() {
+        let (sensors, sink, mut alive) = field(600, 600.0, 8);
+        let mut hp = HierPlan::build(&sensors, sink, 30.0, multi_tile_cfg()).unwrap();
+        // Kill every other sensor — that dirties essentially every tile.
+        let died: Vec<u32> = (0..600u32).step_by(2).collect();
+        for &d in &died {
+            alive[d as usize] = false;
+        }
+        let report = hp.apply_delta(&sensors, &alive, &died, None).unwrap();
+        assert!(report.full_rebuild, "half the field must escalate");
+        hp.plan()
+            .validate_live(&sensors, hp.range(), &alive)
+            .unwrap();
+    }
+
+    #[test]
+    fn delta_sequence_is_deterministic_across_thread_counts() {
+        let run = |threads: usize| {
+            mdg_par::set_threads(threads);
+            let (mut sensors, sink, mut alive) = field(800, 650.0, 21);
+            let mut hp = HierPlan::build(&sensors, sink, 30.0, multi_tile_cfg()).unwrap();
+            for round in 0..5u64 {
+                let died: Vec<u32> = (0..4u64)
+                    .map(|i| ((round * 7919 + i * 104_729) % 800) as u32)
+                    .filter(|&d| alive[d as usize])
+                    .collect();
+                for &d in &died {
+                    alive[d as usize] = false;
+                }
+                if round % 2 == 1 {
+                    let g = sensors.len();
+                    sensors.push(Point::new(
+                        (g as f64 * 37.0) % 650.0,
+                        (g as f64 * 53.0) % 650.0,
+                    ));
+                    alive.push(true);
+                }
+                hp.apply_delta(&sensors, &alive, &died, None).unwrap();
+                hp.plan()
+                    .validate_live(&sensors, hp.range(), &alive)
+                    .unwrap();
+            }
+            mdg_par::set_threads(0);
+            hp.plan().clone()
+        };
+        let single = run(1);
+        let quad = run(4);
+        assert_eq!(single, quad, "delta replans must be thread-invariant");
+    }
+
+    #[test]
+    fn churned_plan_tracks_a_cold_replan() {
+        let (mut sensors, sink, mut alive) = field(900, 700.0, 30);
+        let mut hp = HierPlan::build(&sensors, sink, 30.0, multi_tile_cfg()).unwrap();
+        for round in 0..8u64 {
+            let died: Vec<u32> = (0..5u64)
+                .map(|i| ((round * 6151 + i * 92_821) % 900) as u32)
+                .filter(|&d| alive[d as usize])
+                .collect();
+            for &d in &died {
+                alive[d as usize] = false;
+            }
+            let g = sensors.len();
+            sensors.push(Point::new(
+                (g as f64 * 41.0) % 700.0,
+                (g as f64 * 59.0) % 700.0,
+            ));
+            alive.push(true);
+            hp.apply_delta(&sensors, &alive, &died, None).unwrap();
+        }
+        hp.plan()
+            .validate_live(&sensors, hp.range(), &alive)
+            .unwrap();
+        // Cold re-plan of the live field as the quality yardstick.
+        let live: Vec<Point> = sensors
+            .iter()
+            .zip(&alive)
+            .filter_map(|(&p, &a)| a.then_some(p))
+            .collect();
+        let cold = HierPlan::build(&live, sink, 30.0, multi_tile_cfg()).unwrap();
+        assert!(
+            hp.plan().tour_length <= cold.plan().tour_length * 1.3 + 1e-9,
+            "incremental {} vs cold {}",
+            hp.plan().tour_length,
+            cold.plan().tour_length
+        );
+    }
+
+    #[test]
+    fn empty_build_grows_via_escalation() {
+        let sink = Point::new(50.0, 50.0);
+        let mut hp = HierPlan::build(&[], sink, 30.0, HierConfig::default()).unwrap();
+        assert_eq!(hp.plan().n_polling_points(), 0);
+        let sensors: Vec<Point> = (0..40)
+            .map(|i| Point::new((i as f64 * 17.0) % 100.0, (i as f64 * 29.0) % 100.0))
+            .collect();
+        let alive = vec![true; 40];
+        let report = hp.apply_delta(&sensors, &alive, &[], None).unwrap();
+        assert!(report.full_rebuild, "growth from empty must re-tile");
+        hp.plan()
+            .validate_live(&sensors, hp.range(), &alive)
+            .unwrap();
+        assert_eq!(hp.plan().assignment.len(), 40);
     }
 }

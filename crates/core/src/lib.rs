@@ -46,10 +46,10 @@ pub mod tour_aware;
 pub use error::PlanError;
 pub use exact::exact_plan;
 pub use fleet::{
-    plan_fleet, plan_fleet_angular, plan_fleet_best, plan_fleet_for_deadline, CollectorTour,
-    FleetPlan,
+    plan_fleet, plan_fleet_angular, plan_fleet_best, plan_fleet_for_deadline, plan_fleet_hier,
+    plan_fleet_streamed, CollectorTour, FleetPlan,
 };
-pub use hier::{plan_hier, HierConfig, HierPlanner, HierStats};
+pub use hier::{plan_hier, HierConfig, HierDeltaReport, HierPlan, HierPlanner, HierStats};
 pub use ilp::{check_plan_against_ilp, IlpInstance};
 pub use metrics::PlanMetrics;
 pub use mutate::UNASSIGNED;

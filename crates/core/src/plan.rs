@@ -95,6 +95,18 @@ impl GatheringPlan {
         self.tour_length / speed_mps + upload_secs * self.n_sensors() as f64
     }
 
+    /// Rough heap footprint of the plan in bytes — polling-point structs,
+    /// covered lists, and the assignment table. Used by the serving
+    /// layer's byte-aware session eviction; an estimate, not an audit.
+    pub fn approx_bytes(&self) -> u64 {
+        let pps: u64 = self
+            .polling_points
+            .iter()
+            .map(|pp| 48 + pp.covered.len() as u64 * 4)
+            .sum();
+        64 + pps + self.assignment.len() as u64 * 8
+    }
+
     /// Validates internal consistency against the deployment: assignments
     /// in range, every sensor assigned exactly once and within `range` of
     /// its polling point, and the `covered` lists matching the assignment.

@@ -67,16 +67,19 @@ impl Tiling {
         let rows = ((bb.height() / side).floor() as usize + 1).max(1);
         let n_tiles = cols * rows;
 
+        let tiling = Tiling {
+            side,
+            cols,
+            rows,
+            origin,
+            starts: Vec::new(),
+            items: Vec::new(),
+        };
         // Two-pass counting sort into CSR buckets; indices stay ascending
         // within each tile because both passes scan `points` in order.
         let mut counts = vec![0u32; n_tiles + 1];
-        let tile_of = |p: Point| -> usize {
-            let tx = (((p.x - origin.x) / side).floor() as usize).min(cols - 1);
-            let ty = (((p.y - origin.y) / side).floor() as usize).min(rows - 1);
-            ty * cols + tx
-        };
         for &p in points {
-            counts[tile_of(p) + 1] += 1;
+            counts[tiling.tile_of(p) + 1] += 1;
         }
         for t in 0..n_tiles {
             counts[t + 1] += counts[t];
@@ -85,18 +88,29 @@ impl Tiling {
         let mut cursor = counts;
         let mut items = vec![0u32; points.len()];
         for (i, &p) in points.iter().enumerate() {
-            let t = tile_of(p);
+            let t = tiling.tile_of(p);
             items[cursor[t] as usize] = i as u32;
             cursor[t] += 1;
         }
         Tiling {
-            side,
-            cols,
-            rows,
-            origin,
             starts,
             items,
+            ..tiling
         }
+    }
+
+    /// The tile that owns position `p`: the half-open lattice cell
+    /// containing it, clamped into the lattice for positions on (or
+    /// beyond) the top/right edges of the bounding box the tiling was
+    /// built from. This is the same mapping the constructor bucketed with,
+    /// so for any point of the original set it returns the tile whose
+    /// [`Tiling::points_in`] bucket holds it — and it extends to *new*
+    /// positions (sensors added after the tiling was built), which is what
+    /// lets an incremental planner route a delta to its dirty tile.
+    pub fn tile_of(&self, p: Point) -> usize {
+        let tx = (((p.x - self.origin.x) / self.side).floor() as usize).min(self.cols - 1);
+        let ty = (((p.y - self.origin.y) / self.side).floor() as usize).min(self.rows - 1);
+        ty * self.cols + tx
     }
 
     /// The effective tile side length (≥ the requested side when the

@@ -31,8 +31,10 @@ use mdg_geom::Point;
 use serde::{Deserialize, Serialize};
 use std::io::{self, BufRead, Write};
 
-/// Protocol version reported by [`MetricsResponse`].
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Protocol version reported by [`MetricsResponse`]. Version 2 added the
+/// `kind` and `approx_bytes` fields to [`SessionInfo`] (hierarchical
+/// sessions and byte-aware eviction); requests are unchanged.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// A client request: one flat struct for every command. `cmd` selects the
 /// operation; the vendored serde treats absent JSON fields as `None`, so a
@@ -176,6 +178,9 @@ pub struct HistEntry {
 pub struct SessionInfo {
     /// Session name.
     pub field: String,
+    /// Session flavor: `"flat"` (adopt/splice repair) or `"hier"`
+    /// (retained tiled plan, dirty-tile deltas).
+    pub kind: String,
     /// Total sensors tracked.
     pub n_sensors: u64,
     /// Sensors alive.
@@ -186,6 +191,9 @@ pub struct SessionInfo {
     pub tour_m: f64,
     /// Plan generation.
     pub generation: u64,
+    /// Estimated heap footprint of the warm session, bytes (drives the
+    /// server's byte-aware LRU eviction).
+    pub approx_bytes: u64,
     /// Wall time of the session's cold plan, milliseconds.
     pub cold_plan_ms: f64,
     /// Delta requests applied.

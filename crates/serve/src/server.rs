@@ -66,6 +66,17 @@ pub struct ServeConfig {
     /// Hard bound on a session's sensor count (`n`, or `sensors` length
     /// plus later additions).
     pub max_sensors: usize,
+    /// `plan` requests above this sensor count get a hierarchical
+    /// session (retained tiled plan, dirty-tile deltas) instead of a
+    /// flat one — the flat session's quadratic coverage bitmap makes
+    /// warm million-sensor sessions impossible.
+    pub hier_threshold: usize,
+    /// Byte budget for the whole session table (estimated footprints,
+    /// see `FieldSession::approx_bytes`). Crossing it evicts
+    /// least-recently-used sessions until back under budget; a single
+    /// session over the budget is kept (evicting it would make the
+    /// daemon useless for exactly the large fields it exists to serve).
+    pub max_session_bytes: u64,
     /// How long shutdown waits for in-flight connections to drain before
     /// giving up.
     pub drain_timeout: Duration,
@@ -80,6 +91,8 @@ impl Default for ServeConfig {
             write_timeout: Some(Duration::from_secs(10)),
             max_line_bytes: 32 << 20,
             max_sensors: 1_000_000,
+            hier_threshold: 50_000,
+            max_session_bytes: 4 << 30,
             drain_timeout: Duration::from_secs(30),
         }
     }
@@ -96,6 +109,9 @@ struct SessionTable {
 struct TableEntry {
     session: Arc<Mutex<FieldSession>>,
     last_used: u64,
+    /// Estimated session footprint, refreshed after every delta (deltas
+    /// can grow a session far past its cold size).
+    bytes: u64,
 }
 
 impl SessionTable {
@@ -117,30 +133,65 @@ impl SessionTable {
         })
     }
 
-    /// Inserts (or replaces) a session, evicting the least-recently-used
-    /// entry if the table is full. Returns the evicted session's name.
-    fn insert(&mut self, name: String, session: FieldSession, cap: usize) -> Option<String> {
+    /// Inserts (or replaces) a session, then evicts least-recently-used
+    /// entries until both bounds hold. Returns the evicted names,
+    /// LRU-first. The just-inserted session carries the freshest tick,
+    /// so it is only ever chosen when it is the table's sole entry —
+    /// which the `len > 1` guard on the byte bound forbids: one session
+    /// over the byte budget alone is kept (a big field is the point of
+    /// the daemon), it just evicts everything else.
+    fn insert(
+        &mut self,
+        name: String,
+        session: FieldSession,
+        cap: usize,
+        max_bytes: u64,
+    ) -> Vec<String> {
         self.tick += 1;
-        let mut evicted = None;
-        if !self.map.contains_key(&name) && self.map.len() >= cap.max(1) {
-            if let Some(victim) = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                self.map.remove(&victim);
-                self.evictions += 1;
-                evicted = Some(victim);
-            }
-        }
+        let bytes = session.approx_bytes();
         self.map.insert(
             name,
             TableEntry {
                 session: Arc::new(Mutex::new(session)),
                 last_used: self.tick,
+                bytes,
             },
         );
+        self.enforce(cap, max_bytes)
+    }
+
+    /// Refreshes one session's byte estimate, then re-applies the byte
+    /// bound (a delta that added sensors may have pushed the table over
+    /// budget). Returns the evicted names.
+    fn set_bytes(&mut self, name: &str, bytes: u64, cap: usize, max_bytes: u64) -> Vec<String> {
+        if let Some(e) = self.map.get_mut(name) {
+            e.bytes = bytes;
+        }
+        self.enforce(cap, max_bytes)
+    }
+
+    /// Evicts LRU entries until the count cap and byte budget both hold.
+    fn enforce(&mut self, cap: usize, max_bytes: u64) -> Vec<String> {
+        let mut evicted = Vec::new();
+        loop {
+            let total: u64 = self.map.values().map(|e| e.bytes).sum();
+            let over_count = self.map.len() > cap.max(1);
+            let over_bytes = total > max_bytes && self.map.len() > 1;
+            if !(over_count || over_bytes) {
+                break;
+            }
+            let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.map.remove(&victim);
+            self.evictions += 1;
+            evicted.push(victim);
+        }
         evicted
     }
 
@@ -535,15 +586,24 @@ fn handle_plan(req: &Request, shared: &Shared) -> Result<String, HandlerError> {
         return Err(bad_request("plan needs at least one sensor"));
     }
     // Planning runs outside the table lock: a slow cold plan must not
-    // block lookups for other sessions.
-    let session = FieldSession::plan_cold(&field, deployment, range, PlannerConfig::default())
-        .map_err(|e| bad_request(format!("planning failed: {e}")))?;
+    // block lookups for other sessions. Large fields get a hierarchical
+    // session (dirty-tile deltas); small ones keep the flat planner.
+    let session = FieldSession::plan_cold_auto(
+        &field,
+        deployment,
+        range,
+        PlannerConfig::default(),
+        shared.cfg.hier_threshold,
+    )
+    .map_err(|e| bad_request(format!("planning failed: {e}")))?;
     let summary = summarize(&session, "cold", session.stats.cold_plan_ms);
-    let mut table = lock_unpoisoned(&shared.sessions);
-    if let Some(evicted) = table.insert(field, session, shared.cfg.max_sessions) {
-        mdg_obs::counter("serve/sessions/evicted").add(1);
-        eprintln!("mdg-serve: session table full; evicted LRU session `{evicted}`");
-    }
+    let evicted = lock_unpoisoned(&shared.sessions).insert(
+        field,
+        session,
+        shared.cfg.max_sessions,
+        shared.cfg.max_session_bytes,
+    );
+    log_evictions(&evicted);
     Ok(ok_json(&summary))
 }
 
@@ -650,11 +710,31 @@ fn handle_delta(req: &Request, shared: &Shared) -> Result<String, HandlerError> 
         DeltaMode::Replan => mdg_obs::counter("serve/full_replans").add(1),
         DeltaMode::Noop => {}
     }
-    Ok(ok_json(&summarize(
+    let response = ok_json(&summarize(
         &session,
         outcome.mode.as_str(),
         outcome.elapsed_ms,
-    )))
+    ));
+    // Refresh the footprint estimate under the table lock only — the
+    // session guard is dropped first (metrics holds the table lock while
+    // locking sessions, so the reverse order would be a deadlock).
+    let bytes = session.approx_bytes();
+    drop(session);
+    let evicted = lock_unpoisoned(&shared.sessions).set_bytes(
+        &field,
+        bytes,
+        shared.cfg.max_sessions,
+        shared.cfg.max_session_bytes,
+    );
+    log_evictions(&evicted);
+    Ok(response)
+}
+
+fn log_evictions(evicted: &[String]) {
+    for name in evicted {
+        mdg_obs::counter("serve/sessions/evicted").add(1);
+        eprintln!("mdg-serve: session table over budget; evicted LRU session `{name}`");
+    }
 }
 
 fn handle_get_plan(req: &Request, shared: &Shared) -> Result<String, HandlerError> {
@@ -673,7 +753,7 @@ fn handle_get_plan(req: &Request, shared: &Shared) -> Result<String, HandlerErro
         ok: true,
         field: session.name.clone(),
         generation: session.generation,
-        range: session.network().range,
+        range: session.range(),
         plan: session.plan().clone(),
     }))
 }

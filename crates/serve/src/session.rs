@@ -1,28 +1,38 @@
 //! Warm per-field planning sessions.
 //!
 //! A [`FieldSession`] is the reason the daemon exists: it keeps everything
-//! that is expensive to build and slow to change — the deployment, the
-//! unit-disk graph and spatial grid ([`Network`]), the sensor-site
-//! coverage instance, the alive mask, and the current plan — resident
-//! between requests, so a `delta` request runs `mdg-runtime`'s
-//! adopt/splice/cheapest-insertion repair over warm state instead of
-//! planning cold.
+//! that is expensive to build and slow to change resident between
+//! requests, so a `delta` request runs over warm state instead of
+//! planning cold. A session comes in two flavors, chosen at creation:
+//!
+//! * **Flat** (the default up to [`plan_cold_auto`]'s threshold): the
+//!   deployment, unit-disk graph and spatial grid ([`Network`]), the
+//!   sensor-site coverage instance, the alive mask, and the current plan.
+//!   Deltas run `mdg-runtime`'s adopt/splice/cheapest-insertion repair.
+//! * **Hier** (large fields): a retained [`HierPlan`] — tiling, per-tile
+//!   member lists and sub-tours — plus the raw sensor positions and the
+//!   alive mask. Deltas run [`HierPlan::apply_delta`]'s dirty-tile
+//!   replan: only tiles touched by the delta are re-planned, so a small
+//!   delta on a million-sensor field costs a few tiles, not the field.
+//!   The flat session's `O(n²)`-bit coverage bitmap is never built,
+//!   which is what makes warm million-sensor sessions fit in memory.
 //!
 //! ## Repair-vs-replan decision
 //!
 //! A delta takes one of three paths, in increasing cost:
 //!
-//! 1. **Repair** (the common case): deaths only. Nothing is rebuilt; the
-//!    alive mask flips and [`repair_plan`] patches the tour locally.
-//! 2. **Rebuild + repair**: sensors were added or the range changed. The
-//!    spatial structures (`Network`, [`CoverageInstance`]) are rebuilt for
-//!    the new geometry — `O(n)` spatial work, still far from a cold plan —
-//!    then added sensors enter the plan as orphans (adopted by in-range
-//!    stops, else covered by spliced-in stops) and a range *decrease*
-//!    first unassigns every sensor its stop can no longer reach.
-//! 3. **Full replan**: [`repair_plan`] itself escalates when repair lost
-//!    too much of the tour ([`RepairConfig::full_replan_stop_fraction`]);
-//!    the session reports the delta as `mode: "replan"`.
+//! 1. **Repair** (the common case): flat sessions flip the alive mask and
+//!    patch the tour locally with [`repair_plan`]; hier sessions re-plan
+//!    only the dirty tiles and re-stitch.
+//! 2. **Rebuild + repair** (flat only): sensors were added or the range
+//!    changed. The spatial structures are rebuilt for the new geometry —
+//!    `O(n)` spatial work, still far from a cold plan — then repair runs.
+//!    Hier sessions absorb additions through the dirty-tile path
+//!    directly (the tiling buckets new positions without a rebuild).
+//! 3. **Full replan**: flat repair escalates when it lost too much of
+//!    the tour ([`RepairConfig::full_replan_stop_fraction`]); hier deltas
+//!    escalate when ≥ 50% of occupied tiles are dirty or the range
+//!    changed. The session reports the delta as `mode: "replan"`.
 //!
 //! Every delta ends with [`GatheringPlan::validate_live`]: an invalid
 //! repaired plan is a hard error, never silently served. The error type
@@ -32,7 +42,7 @@
 //! validation; the server evicts it rather than serve corrupt state).
 
 use crate::protocol::SessionInfo;
-use mdg_core::{GatheringPlan, PlannerConfig, ShdgPlanner, UNASSIGNED};
+use mdg_core::{GatheringPlan, HierConfig, HierPlan, PlannerConfig, ShdgPlanner, UNASSIGNED};
 use mdg_cover::CoverageInstance;
 use mdg_geom::{Aabb, Point};
 use mdg_net::{Deployment, Network};
@@ -80,9 +90,10 @@ impl std::error::Error for DeltaError {}
 pub enum DeltaMode {
     /// The delta required no plan change.
     Noop,
-    /// Incremental adopt/splice repair.
+    /// Incremental repair: adopt/splice for flat sessions, dirty-tile
+    /// replan for hier sessions.
     Repair,
-    /// Repair escalated to a full re-plan of the live sub-network.
+    /// Repair escalated to a full re-plan.
     Replan,
 }
 
@@ -119,15 +130,27 @@ pub struct SessionStats {
     pub full_replans: u64,
 }
 
+/// The per-flavor warm state behind a [`FieldSession`].
+enum State {
+    /// Flat planning: full spatial structures + adopt/splice repair.
+    Flat {
+        net: Network,
+        inst: CoverageInstance,
+        plan: GatheringPlan,
+        repair_cfg: RepairConfig,
+    },
+    /// Hierarchical planning: retained tiled plan + dirty-tile replan.
+    /// Sensor positions live here (dead slots keep their position so ids
+    /// stay stable); the plan itself is inside [`HierPlan`].
+    Hier { sensors: Vec<Point>, hier: HierPlan },
+}
+
 /// A warm planning session for one named field.
 pub struct FieldSession {
     /// Session name (the protocol's `field`).
     pub name: String,
-    net: Network,
-    inst: CoverageInstance,
     alive: Vec<bool>,
-    plan: GatheringPlan,
-    repair_cfg: RepairConfig,
+    state: State,
     /// Monotonic plan generation (0 = the cold plan).
     pub generation: u64,
     /// Cumulative statistics.
@@ -135,7 +158,8 @@ pub struct FieldSession {
 }
 
 impl FieldSession {
-    /// Plans `deployment` cold and wraps the result in a warm session.
+    /// Plans `deployment` cold with the flat planner and wraps the result
+    /// in a warm session.
     pub fn plan_cold(
         name: impl Into<String>,
         deployment: Deployment,
@@ -154,11 +178,13 @@ impl FieldSession {
         let alive = vec![true; net.n_sensors()];
         Ok(FieldSession {
             name: name.into(),
-            net,
-            inst,
             alive,
-            plan,
-            repair_cfg: RepairConfig::default(),
+            state: State::Flat {
+                net,
+                inst,
+                plan,
+                repair_cfg: RepairConfig::default(),
+            },
             generation: 0,
             stats: SessionStats {
                 cold_plan_ms: t0.elapsed().as_secs_f64() * 1e3,
@@ -167,14 +193,95 @@ impl FieldSession {
         })
     }
 
-    /// The session's current plan.
-    pub fn plan(&self) -> &GatheringPlan {
-        &self.plan
+    /// Plans `deployment` cold with the hierarchical tiled planner and
+    /// wraps the retained [`HierPlan`] in a warm session. Deltas on this
+    /// session run the dirty-tile incremental path.
+    pub fn plan_cold_hier(
+        name: impl Into<String>,
+        deployment: Deployment,
+        range: f64,
+        hier_cfg: HierConfig,
+    ) -> Result<Self, String> {
+        let t0 = Instant::now();
+        let _sp = mdg_obs::span("cold_plan");
+        let Deployment { sensors, sink, .. } = deployment;
+        let hier = HierPlan::build(&sensors, sink, range, hier_cfg).map_err(|e| e.to_string())?;
+        hier.plan()
+            .validate(&sensors, range)
+            .map_err(|e| format!("cold hier plan failed validation: {e}"))?;
+        let alive = vec![true; sensors.len()];
+        Ok(FieldSession {
+            name: name.into(),
+            alive,
+            state: State::Hier { sensors, hier },
+            generation: 0,
+            stats: SessionStats {
+                cold_plan_ms: t0.elapsed().as_secs_f64() * 1e3,
+                ..SessionStats::default()
+            },
+        })
     }
 
-    /// The session's network (deployment + range + graphs).
-    pub fn network(&self) -> &Network {
-        &self.net
+    /// Plans cold, picking the session flavor by size: fields larger than
+    /// `hier_threshold` sensors get a hierarchical session (the flat
+    /// planner's quadratic coverage bitmap is the scaling wall), smaller
+    /// fields get the flat planner's better tours.
+    pub fn plan_cold_auto(
+        name: impl Into<String>,
+        deployment: Deployment,
+        range: f64,
+        planner_cfg: PlannerConfig,
+        hier_threshold: usize,
+    ) -> Result<Self, String> {
+        if deployment.sensors.len() > hier_threshold {
+            let hier_cfg = HierConfig {
+                base: planner_cfg,
+                ..HierConfig::default()
+            };
+            Self::plan_cold_hier(name, deployment, range, hier_cfg)
+        } else {
+            Self::plan_cold(name, deployment, range, planner_cfg)
+        }
+    }
+
+    /// The session's current plan.
+    pub fn plan(&self) -> &GatheringPlan {
+        match &self.state {
+            State::Flat { plan, .. } => plan,
+            State::Hier { hier, .. } => hier.plan(),
+        }
+    }
+
+    /// All sensor positions the session tracks (dead slots included).
+    pub fn sensors(&self) -> &[Point] {
+        match &self.state {
+            State::Flat { net, .. } => &net.deployment.sensors,
+            State::Hier { sensors, .. } => sensors,
+        }
+    }
+
+    /// The data sink (tour start/end).
+    pub fn sink(&self) -> Point {
+        match &self.state {
+            State::Flat { net, .. } => net.deployment.sink,
+            State::Hier { hier, .. } => hier.plan().sink,
+        }
+    }
+
+    /// The transmission range the current plan covers at.
+    pub fn range(&self) -> f64 {
+        match &self.state {
+            State::Flat { net, .. } => net.range,
+            State::Hier { hier, .. } => hier.range(),
+        }
+    }
+
+    /// Session flavor: `"flat"` or `"hier"`.
+    pub fn kind(&self) -> &'static str {
+        match &self.state {
+            State::Flat { .. } => "flat",
+            State::Hier { .. } => "hier",
+        }
     }
 
     /// The session's alive mask.
@@ -185,6 +292,20 @@ impl FieldSession {
     /// Number of live sensors.
     pub fn n_live(&self) -> usize {
         self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Rough heap footprint of the warm state, in bytes. Feeds the
+    /// server's byte-aware LRU eviction; an estimate, not an audit.
+    ///
+    /// The flat estimate is dominated by the sensor-site coverage
+    /// bitmap's `n²` bits; the hier estimate is linear in `n`, which is
+    /// the whole point of the hierarchical session.
+    pub fn approx_bytes(&self) -> u64 {
+        let n = self.alive.len() as u64;
+        match &self.state {
+            State::Flat { plan, .. } => n * n / 8 + n * 48 + plan.approx_bytes(),
+            State::Hier { hier, .. } => n * 17 + hier.approx_bytes(),
+        }
     }
 
     /// Applies a field mutation — `died` sensor ids, `added` sensor
@@ -238,7 +359,7 @@ impl FieldSession {
                 )));
             }
         }
-        let range_changed = new_range.is_some_and(|r| (r - self.net.range).abs() > 1e-12);
+        let range_changed = new_range.is_some_and(|r| (r - self.range()).abs() > 1e-12);
         if died.is_empty() && added.is_empty() && !range_changed {
             return Ok(DeltaOutcome {
                 mode: DeltaMode::Noop,
@@ -246,108 +367,148 @@ impl FieldSession {
             });
         }
 
-        for &s in died {
-            self.alive[s as usize] = false;
-        }
+        let alive = &mut self.alive;
+        let mode = match &mut self.state {
+            State::Flat {
+                net,
+                inst,
+                plan,
+                repair_cfg,
+            } => {
+                for &s in died {
+                    alive[s as usize] = false;
+                }
 
-        // Structural changes (growth, range change) invalidate the spatial
-        // structures; rebuild them — O(n) grid/UDG work, no planning.
-        if !added.is_empty() || range_changed {
-            let _sp = mdg_obs::span("delta/rebuild");
-            let range = new_range.unwrap_or(self.net.range);
-            let mut sensors = self.net.deployment.sensors.clone();
-            sensors.extend_from_slice(added);
-            let field = added
-                .iter()
-                .fold(self.net.deployment.field, |f, &p| f.union(&Aabb::new(p, p)));
-            self.net = Network::build(
-                Deployment {
-                    sensors,
-                    sink: self.net.deployment.sink,
-                    field,
-                },
-                range,
-            );
-            self.inst = CoverageInstance::sensor_sites(&self.net.deployment.sensors, range);
-            self.alive.resize(self.net.n_sensors(), true);
-            self.plan
-                .assignment
-                .resize(self.net.n_sensors(), UNASSIGNED);
-            if range_changed {
-                self.unassign_out_of_range();
+                // Structural changes (growth, range change) invalidate the
+                // spatial structures; rebuild them — O(n) grid/UDG work,
+                // no planning.
+                if !added.is_empty() || range_changed {
+                    let _sp = mdg_obs::span("delta/rebuild");
+                    let range = new_range.unwrap_or(net.range);
+                    let mut sensors = net.deployment.sensors.clone();
+                    sensors.extend_from_slice(added);
+                    let field = added
+                        .iter()
+                        .fold(net.deployment.field, |f, &p| f.union(&Aabb::new(p, p)));
+                    *net = Network::build(
+                        Deployment {
+                            sensors,
+                            sink: net.deployment.sink,
+                            field,
+                        },
+                        range,
+                    );
+                    *inst = CoverageInstance::sensor_sites(&net.deployment.sensors, range);
+                    alive.resize(net.n_sensors(), true);
+                    plan.assignment.resize(net.n_sensors(), UNASSIGNED);
+                    if range_changed {
+                        unassign_out_of_range(plan, &net.deployment.sensors, net.range);
+                    }
+                }
+
+                let report = {
+                    let _sp = mdg_obs::span("delta/repair");
+                    repair_plan(plan, net, inst, alive, repair_cfg)
+                };
+
+                // Past this point the session has mutated: a validation
+                // failure is corruption, not a rejectable request.
+                plan.validate_live(&net.deployment.sensors, net.range, alive)
+                    .map_err(|e| {
+                        DeltaError::Corrupt(format!("repaired plan failed validation: {e}"))
+                    })?;
+
+                if report.full_replan {
+                    DeltaMode::Replan
+                } else if report.changed() {
+                    DeltaMode::Repair
+                } else {
+                    DeltaMode::Noop
+                }
             }
-        }
+            State::Hier { sensors, hier } => {
+                // The dirty-tile path wants *newly* dead ids (a repeated
+                // death must not dirty its tile again) and appended
+                // positions; the retained HierPlan does the rest.
+                let mut newly_dead = Vec::with_capacity(died.len());
+                for &s in died {
+                    if alive[s as usize] {
+                        alive[s as usize] = false;
+                        newly_dead.push(s as u32);
+                    }
+                }
+                sensors.extend_from_slice(added);
+                alive.resize(sensors.len(), true);
 
-        let report = {
-            let _sp = mdg_obs::span("delta/repair");
-            repair_plan(
-                &mut self.plan,
-                &self.net,
-                &self.inst,
-                &self.alive,
-                &self.repair_cfg,
-            )
+                let report = hier
+                    .apply_delta(sensors, alive, &newly_dead, new_range)
+                    .map_err(|e| DeltaError::Corrupt(format!("dirty-tile replan failed: {e}")))?;
+
+                hier.plan()
+                    .validate_live(sensors, hier.range(), alive)
+                    .map_err(|e| {
+                        DeltaError::Corrupt(format!("hier delta plan failed validation: {e}"))
+                    })?;
+
+                if report.full_rebuild {
+                    DeltaMode::Replan
+                } else if !report.is_noop() {
+                    DeltaMode::Repair
+                } else {
+                    DeltaMode::Noop
+                }
+            }
         };
-
-        // Past this point the session has mutated: a validation failure
-        // is corruption, not a rejectable request.
-        self.plan
-            .validate_live(&self.net.deployment.sensors, self.net.range, &self.alive)
-            .map_err(|e| DeltaError::Corrupt(format!("repaired plan failed validation: {e}")))?;
 
         self.generation += 1;
         self.stats.deltas += 1;
-        let mode = if report.full_replan {
-            self.stats.full_replans += 1;
-            DeltaMode::Replan
-        } else if report.changed() {
-            self.stats.repairs += 1;
-            DeltaMode::Repair
-        } else {
-            DeltaMode::Noop
-        };
+        match mode {
+            DeltaMode::Replan => self.stats.full_replans += 1,
+            DeltaMode::Repair => self.stats.repairs += 1,
+            DeltaMode::Noop => {}
+        }
         Ok(DeltaOutcome {
             mode,
             elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
         })
     }
 
-    /// After a range change, drops every assignment the new range no
-    /// longer supports; the orphans re-enter coverage through repair.
-    fn unassign_out_of_range(&mut self) {
-        let sensors = &self.net.deployment.sensors;
-        let range = self.net.range;
-        let GatheringPlan {
-            polling_points,
-            assignment,
-            ..
-        } = &mut self.plan;
-        for (k, pp) in polling_points.iter_mut().enumerate() {
-            pp.covered.retain(|&s| {
-                let keep = sensors[s as usize].dist(pp.pos) <= range + 1e-9;
-                if !keep {
-                    debug_assert_eq!(assignment[s as usize], k);
-                    assignment[s as usize] = UNASSIGNED;
-                }
-                keep
-            });
-        }
-    }
-
     /// Per-session summary for the `metrics` response.
     pub fn info(&self) -> SessionInfo {
         SessionInfo {
             field: self.name.clone(),
+            kind: self.kind().to_string(),
             n_sensors: self.alive.len() as u64,
             live: self.n_live() as u64,
-            polling_points: self.plan.n_polling_points() as u64,
-            tour_m: self.plan.tour_length,
+            polling_points: self.plan().n_polling_points() as u64,
+            tour_m: self.plan().tour_length,
             generation: self.generation,
+            approx_bytes: self.approx_bytes(),
             cold_plan_ms: self.stats.cold_plan_ms,
             deltas: self.stats.deltas,
             repairs: self.stats.repairs,
             full_replans: self.stats.full_replans,
         }
+    }
+}
+
+/// After a range change, drops every assignment the new range no longer
+/// supports; the orphans re-enter coverage through repair.
+fn unassign_out_of_range(plan: &mut GatheringPlan, sensors: &[Point], range: f64) {
+    let GatheringPlan {
+        polling_points,
+        assignment,
+        ..
+    } = plan;
+    for (k, pp) in polling_points.iter_mut().enumerate() {
+        pp.covered.retain(|&s| {
+            let keep = sensors[s as usize].dist(pp.pos) <= range + 1e-9;
+            if !keep {
+                debug_assert_eq!(assignment[s as usize], k);
+                assignment[s as usize] = UNASSIGNED;
+            }
+            keep
+        });
     }
 }
 
@@ -366,11 +527,26 @@ mod tests {
         .unwrap()
     }
 
+    fn hier_session(n: usize, seed: u64) -> FieldSession {
+        let cfg = HierConfig {
+            tile_cells: Some(5.0),
+            ..HierConfig::default()
+        };
+        FieldSession::plan_cold_hier(
+            "h",
+            DeploymentConfig::uniform(n, 400.0).generate(seed),
+            30.0,
+            cfg,
+        )
+        .unwrap()
+    }
+
     #[test]
     fn cold_plan_builds_a_valid_session() {
         let s = session(120, 1);
         assert_eq!(s.generation, 0);
         assert_eq!(s.n_live(), 120);
+        assert_eq!(s.kind(), "flat");
         assert!(s.plan().n_polling_points() > 0);
         assert!(s.stats.cold_plan_ms >= 0.0);
     }
@@ -395,7 +571,7 @@ mod tests {
         assert_eq!(s.generation, 1);
         assert_eq!(s.n_live(), 148);
         s.plan()
-            .validate_live(&s.net.deployment.sensors, s.net.range, &s.alive)
+            .validate_live(s.sensors(), s.range(), s.alive())
             .unwrap();
     }
 
@@ -405,11 +581,11 @@ mod tests {
         let added = vec![Point::new(10.0, 10.0), Point::new(195.0, 195.0)];
         let out = s.apply_delta(&[], &added, None).unwrap();
         assert_eq!(out.mode, DeltaMode::Repair);
-        assert_eq!(s.alive.len(), 102);
+        assert_eq!(s.alive().len(), 102);
         assert_eq!(s.n_live(), 102);
         // Every live sensor (including the new ones) is covered again.
         s.plan()
-            .validate_live(&s.net.deployment.sensors, s.net.range, &s.alive)
+            .validate_live(s.sensors(), s.range(), s.alive())
             .unwrap();
     }
 
@@ -418,9 +594,9 @@ mod tests {
         let mut s = session(150, 5);
         let out = s.apply_delta(&[], &[], Some(20.0)).unwrap();
         assert!(matches!(out.mode, DeltaMode::Repair | DeltaMode::Replan));
-        assert!((s.net.range - 20.0).abs() < 1e-12);
+        assert!((s.range() - 20.0).abs() < 1e-12);
         s.plan()
-            .validate_live(&s.net.deployment.sensors, s.net.range, &s.alive)
+            .validate_live(s.sensors(), s.range(), s.alive())
             .unwrap();
     }
 
@@ -437,7 +613,7 @@ mod tests {
         assert_eq!(out.mode, DeltaMode::Replan);
         assert_eq!(s.stats.full_replans, 1);
         s.plan()
-            .validate_live(&s.net.deployment.sensors, s.net.range, &s.alive)
+            .validate_live(s.sensors(), s.range(), s.alive())
             .unwrap();
     }
 
@@ -477,7 +653,7 @@ mod tests {
         }
         // Session fully intact and still serving the same plan.
         assert_eq!(s.generation, 0);
-        assert_eq!(s.alive.len(), 60);
+        assert_eq!(s.alive().len(), 60);
         assert_eq!(*s.plan(), before);
         s.apply_delta(&[], &[Point::new(50.0, 50.0)], None).unwrap();
     }
@@ -488,7 +664,7 @@ mod tests {
         let mut killed = 0u64;
         for i in 0..5 {
             let victim = s
-                .alive
+                .alive()
                 .iter()
                 .enumerate()
                 .filter(|&(_, &a)| a)
@@ -500,5 +676,101 @@ mod tests {
             assert_eq!(s.generation, killed);
         }
         assert_eq!(s.n_live(), 195);
+    }
+
+    #[test]
+    fn hier_session_plans_cold_and_absorbs_deltas() {
+        let mut s = hier_session(600, 11);
+        assert_eq!(s.kind(), "hier");
+        assert_eq!(s.n_live(), 600);
+        s.plan().validate(s.sensors(), s.range()).unwrap();
+
+        // Deaths run the dirty-tile path.
+        let victims: Vec<u64> = s.plan().polling_points[..2]
+            .iter()
+            .map(|pp| pp.candidate as u64)
+            .collect();
+        let out = s.apply_delta(&victims, &[], None).unwrap();
+        assert_eq!(out.mode, DeltaMode::Repair);
+        assert_eq!(s.generation, 1);
+        assert_eq!(s.stats.repairs, 1);
+        s.plan()
+            .validate_live(s.sensors(), s.range(), s.alive())
+            .unwrap();
+
+        // Additions extend the session through the same path.
+        let added = vec![Point::new(15.0, 15.0), Point::new(390.0, 390.0)];
+        let out = s.apply_delta(&[], &added, None).unwrap();
+        assert_eq!(out.mode, DeltaMode::Repair);
+        assert_eq!(s.alive().len(), 602);
+        assert_eq!(s.n_live(), 600);
+        s.plan()
+            .validate_live(s.sensors(), s.range(), s.alive())
+            .unwrap();
+    }
+
+    #[test]
+    fn hier_session_range_change_is_a_full_replan() {
+        let mut s = hier_session(500, 12);
+        let out = s.apply_delta(&[], &[], Some(25.0)).unwrap();
+        assert_eq!(out.mode, DeltaMode::Replan);
+        assert_eq!(s.stats.full_replans, 1);
+        assert!((s.range() - 25.0).abs() < 1e-12);
+        s.plan()
+            .validate_live(s.sensors(), s.range(), s.alive())
+            .unwrap();
+    }
+
+    #[test]
+    fn hier_session_rejects_bad_deltas_pre_mutation() {
+        let mut s = hier_session(400, 13);
+        for err in [
+            s.apply_delta(&[400], &[], None).unwrap_err(),
+            s.apply_delta(&[], &[Point::new(f64::INFINITY, 0.0)], None)
+                .unwrap_err(),
+            s.apply_delta(&[], &[], Some(0.0)).unwrap_err(),
+        ] {
+            assert!(matches!(err, DeltaError::Invalid(_)), "{err:?}");
+        }
+        assert_eq!(s.generation, 0);
+        assert_eq!(s.n_live(), 400);
+    }
+
+    #[test]
+    fn auto_selection_picks_the_flavor_by_size() {
+        let small = FieldSession::plan_cold_auto(
+            "s",
+            DeploymentConfig::uniform(100, 200.0).generate(1),
+            30.0,
+            PlannerConfig::default(),
+            200,
+        )
+        .unwrap();
+        assert_eq!(small.kind(), "flat");
+        let big = FieldSession::plan_cold_auto(
+            "b",
+            DeploymentConfig::uniform(300, 300.0).generate(1),
+            30.0,
+            PlannerConfig::default(),
+            200,
+        )
+        .unwrap();
+        assert_eq!(big.kind(), "hier");
+        big.plan().validate(big.sensors(), big.range()).unwrap();
+    }
+
+    #[test]
+    fn hier_footprint_is_linear_not_quadratic() {
+        // The hier session must dodge the flat session's n²-bit coverage
+        // bitmap; at 600 sensors the flat estimate already dominates.
+        let flat = session(150, 14);
+        let hier = hier_session(600, 14);
+        assert!(flat.approx_bytes() > 150 * 150 / 8);
+        assert!(
+            hier.approx_bytes() < (600u64 * 600 / 8) + 600 * 48,
+            "hier session footprint {} should undercut a flat session's \
+             quadratic bitmap at the same n",
+            hier.approx_bytes()
+        );
     }
 }

@@ -45,8 +45,8 @@ fn churn(session: &FieldSession, seed: u64) -> (Vec<u64>, Vec<Point>) {
 /// Plans the session's *current* live field from scratch and returns the
 /// cold tour length — the quality baseline repair is judged against.
 fn cold_replan_tour(session: &FieldSession) -> f64 {
-    let all = &session.network().deployment.sensors;
-    let live: Vec<Point> = all
+    let live: Vec<Point> = session
+        .sensors()
         .iter()
         .zip(session.alive())
         .filter(|&(_, &a)| a)
@@ -54,7 +54,7 @@ fn cold_replan_tour(session: &FieldSession) -> f64 {
         .collect();
     let deployment = Deployment {
         sensors: live.clone(),
-        sink: session.network().deployment.sink,
+        sink: session.sink(),
         field: Aabb::from_points(&live).expect("live sensors remain"),
     };
     let net = Network::build(deployment, RANGE);
@@ -89,11 +89,7 @@ fn repaired_plans_match_cold_replans_across_seeded_fields() {
         // (a) Correctness on the mutated field.
         session
             .plan()
-            .validate_live(
-                &session.network().deployment.sensors,
-                RANGE,
-                session.alive(),
-            )
+            .validate_live(session.sensors(), RANGE, session.alive())
             .unwrap_or_else(|e| panic!("seed {seed}: repaired plan invalid: {e}"));
 
         // (b) Bounded quality loss vs a cold replan of the same field.

@@ -1,0 +1,159 @@
+//! Hier-session delta-sequence equivalence: across many seeded fields, a
+//! hierarchical session that absorbed rounds of death/addition churn
+//! through the dirty-tile path must hold a plan that is (a) valid on the
+//! mutated field, (b) within a bounded length ratio of rebuilding the
+//! churned field cold with the same tiled planner, and (c) bit-identical
+//! at any `mdg-par` thread count. Bound (b) pins the quality cost of
+//! replanning only dirty tiles; bound (c) is the determinism contract the
+//! daemon's reproducibility story rests on.
+
+use mdg_core::{GatheringPlan, HierConfig, HierPlan};
+use mdg_geom::Point;
+use mdg_net::DeploymentConfig;
+use mdg_serve::session::FieldSession;
+
+const N: usize = 500;
+const SIDE: f64 = 400.0;
+const RANGE: f64 = 30.0;
+const SEEDS: u64 = 20;
+const ROUNDS: u64 = 4;
+
+/// Churned tour may exceed the cold tiled rebuild by at most this factor.
+/// Clean tiles keep their retained sub-tours while the stitch order and
+/// seam geometry drift from what a fresh tiling would choose, so some
+/// slack is inherent; observed ratios sit well below this.
+const MAX_LENGTH_RATIO: f64 = 1.35;
+
+fn cfg() -> HierConfig {
+    HierConfig {
+        // 5 × 30 m = 150 m tiles: a 400 m field spans a 3×3 lattice, so
+        // small deltas stay below the 50%-dirty escalation bar.
+        tile_cells: Some(5.0),
+        ..HierConfig::default()
+    }
+}
+
+fn cold_session(seed: u64) -> FieldSession {
+    FieldSession::plan_cold_hier(
+        format!("hier-eq-{seed}"),
+        DeploymentConfig::uniform(N, SIDE).generate(seed),
+        RANGE,
+        cfg(),
+    )
+    .unwrap_or_else(|e| panic!("seed {seed}: cold hier plan failed: {e}"))
+}
+
+/// One deterministic churn round: a scatter of deaths over the original
+/// id space plus two additions drifting across the field.
+fn churn(seed: u64, round: u64) -> (Vec<u64>, Vec<Point>) {
+    let mut died: Vec<u64> = (0..8u64)
+        .map(|i| (seed * 7919 + round * 104_729 + i * 15_485_863) % N as u64)
+        .collect();
+    died.sort_unstable();
+    died.dedup();
+    let t = (seed * ROUNDS + round + 1) as f64 / (SEEDS * ROUNDS + 2) as f64;
+    let added = vec![
+        Point::new(SIDE * t, SIDE * (1.0 - t)),
+        Point::new(10.0 + SIDE * 0.8 * (1.0 - t), 10.0 + SIDE * 0.8 * t),
+    ];
+    (died, added)
+}
+
+/// Runs the full churn sequence for one seed and returns the session.
+fn churned_session(seed: u64) -> FieldSession {
+    let mut session = cold_session(seed);
+    for round in 0..ROUNDS {
+        let (died, added) = churn(seed, round);
+        session
+            .apply_delta(&died, &added, None)
+            .unwrap_or_else(|e| panic!("seed {seed} round {round}: delta failed: {e}"));
+        session
+            .plan()
+            .validate_live(session.sensors(), session.range(), session.alive())
+            .unwrap_or_else(|e| panic!("seed {seed} round {round}: invalid plan: {e}"));
+    }
+    session
+}
+
+/// Rebuilds the session's *current* live field cold with the same tiled
+/// planner and returns the tour length — the quality baseline the
+/// dirty-tile path is judged against.
+fn cold_rebuild_tour(session: &FieldSession) -> f64 {
+    let live: Vec<Point> = session
+        .sensors()
+        .iter()
+        .zip(session.alive())
+        .filter(|&(_, &a)| a)
+        .map(|(&p, _)| p)
+        .collect();
+    let hier = HierPlan::build(&live, session.sink(), RANGE, cfg()).expect("cold rebuild plans");
+    hier.plan()
+        .validate(&live, RANGE)
+        .expect("cold rebuild is valid");
+    hier.plan().tour_length
+}
+
+#[test]
+fn churned_hier_sessions_track_cold_tiled_rebuilds() {
+    let mut worst: f64 = 0.0;
+    for seed in 0..SEEDS {
+        let session = churned_session(seed);
+        assert!(
+            session.generation >= 1,
+            "seed {seed}: churn must advance the generation"
+        );
+        let cold = cold_rebuild_tour(&session);
+        let ratio = session.plan().tour_length / cold;
+        assert!(
+            ratio <= MAX_LENGTH_RATIO,
+            "seed {seed}: churned tour {:.1} m is {ratio:.3}x the cold rebuild {cold:.1} m \
+             (bound {MAX_LENGTH_RATIO})",
+            session.plan().tour_length
+        );
+        worst = worst.max(ratio);
+    }
+    println!("worst churned/cold tour ratio over {SEEDS} hier fields: {worst:.3}");
+}
+
+#[test]
+fn dirty_tile_replans_are_bit_identical_across_thread_counts() {
+    // The same churn sequence must produce byte-for-byte the same plan at
+    // 1 worker and at 4 — dirty-tile fan-out, splice scans, and seam
+    // touch-up all preserve order under `mdg-par`'s determinism contract.
+    for seed in [0u64, 5, 11] {
+        mdg_par::set_threads(1);
+        let serial = churned_session(seed);
+        mdg_par::set_threads(4);
+        let parallel = churned_session(seed);
+        mdg_par::set_threads(0);
+        let (a, b): (&GatheringPlan, &GatheringPlan) = (serial.plan(), parallel.plan());
+        assert_eq!(
+            a.tour_length.to_bits(),
+            b.tour_length.to_bits(),
+            "seed {seed}: tour length diverged across thread counts"
+        );
+        assert_eq!(a, b, "seed {seed}: plan diverged across thread counts");
+        assert_eq!(serial.generation, parallel.generation);
+    }
+}
+
+#[test]
+fn escalation_and_incremental_paths_agree_on_coverage() {
+    // Force both paths on the same field: a massive delta (escalates to a
+    // full tiled rebuild) and the same deaths applied in small chunks
+    // (stays incremental). Both must end fully covering the same live set.
+    let seed = 3;
+    let mut bulk = cold_session(seed);
+    let mut stepped = cold_session(seed);
+    let victims: Vec<u64> = (0..N as u64).filter(|v| v % 3 == 0).collect();
+    bulk.apply_delta(&victims, &[], None).unwrap();
+    for chunk in victims.chunks(5) {
+        stepped.apply_delta(chunk, &[], None).unwrap();
+    }
+    for s in [&bulk, &stepped] {
+        assert_eq!(s.n_live(), N - victims.len());
+        s.plan()
+            .validate_live(s.sensors(), s.range(), s.alive())
+            .unwrap();
+    }
+}

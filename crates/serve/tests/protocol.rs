@@ -162,6 +162,111 @@ fn lru_eviction_bounds_the_session_table() {
 }
 
 #[test]
+fn byte_budget_eviction_sheds_many_small_sessions_for_one_big() {
+    // Five small sessions fit the byte budget; one big session landing on
+    // top must evict several of them (LRU-first) — the count cap alone
+    // would have kept everything.
+    let server = start(ServeConfig {
+        max_sessions: 16,
+        max_session_bytes: 64 << 10,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for i in 0..5 {
+        client
+            .plan_uniform(&format!("small-{i}"), 100, 200.0, i, 30.0)
+            .unwrap()
+            .unwrap();
+    }
+    let before = client.metrics().unwrap().unwrap();
+    assert_eq!(before.sessions.len(), 5);
+    assert_eq!(before.evictions, 0);
+
+    client
+        .plan_uniform("big", 400, 400.0, 7, 30.0)
+        .unwrap()
+        .unwrap();
+    let after = client.metrics().unwrap().unwrap();
+    let names: Vec<&str> = after.sessions.iter().map(|s| s.field.as_str()).collect();
+    assert!(names.contains(&"big"), "{names:?}");
+    assert!(
+        after.evictions >= 2,
+        "one big session must displace several small ones, evictions={}",
+        after.evictions
+    );
+    // The survivors (the big session possibly excepted) fit the budget.
+    let total: u64 = after.sessions.iter().map(|s| s.approx_bytes).sum();
+    assert!(
+        total <= 64 << 10 || after.sessions.len() == 1,
+        "table still over budget: {total} bytes across {names:?}"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn large_fields_get_hier_sessions_over_the_wire() {
+    // Above the threshold the daemon plans hierarchically; plan, delta,
+    // and get_plan flow through the same protocol unchanged.
+    // Default auto tile sizing targets ~2048 sensors per tile, so the
+    // field needs ~10k sensors to span several tiles — below that a
+    // small delta dirties the only tile and escalates to a full replan.
+    let server = start(ServeConfig {
+        hier_threshold: 2_000,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let cold = client
+        .plan_uniform("tiled", 10_000, 1_000.0, 3, 30.0)
+        .unwrap()
+        .unwrap();
+    assert_eq!(cold.mode, "cold");
+    assert_eq!(cold.live, 10_000);
+
+    let metrics = client.metrics().unwrap().unwrap();
+    let info = metrics
+        .sessions
+        .iter()
+        .find(|s| s.field == "tiled")
+        .unwrap();
+    assert_eq!(info.kind, "hier");
+    assert!(info.approx_bytes > 0);
+
+    let patched = client
+        .delta(
+            "tiled",
+            vec![1, 2, 3],
+            vec![Point { x: 20.0, y: 20.0 }],
+            None,
+        )
+        .unwrap()
+        .unwrap();
+    assert_eq!(patched.mode, "repair");
+    assert_eq!(patched.generation, cold.generation + 1);
+    assert_eq!(patched.live, 9_998);
+
+    let got = client.get_plan("tiled").unwrap().unwrap();
+    assert_eq!(got.generation, patched.generation);
+    assert!((got.range - 30.0).abs() < 1e-12);
+    assert!(got.plan.tour_length > 0.0);
+
+    // A small flat session next to it keeps its flavor.
+    client
+        .plan_uniform("smallf", 120, 200.0, 4, 30.0)
+        .unwrap()
+        .unwrap();
+    let metrics = client.metrics().unwrap().unwrap();
+    let info = metrics
+        .sessions
+        .iter()
+        .find(|s| s.field == "smallf")
+        .unwrap();
+    assert_eq!(info.kind, "flat");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn shutdown_drains_and_stops_accepting() {
     let server = start(ServeConfig::default());
     let addr = server.local_addr();

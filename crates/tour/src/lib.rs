@@ -53,7 +53,8 @@ pub use exact::held_karp;
 pub use improve::{improve, or_opt, two_opt, ImproveConfig};
 pub use lower_bound::held_karp_lower_bound;
 pub use neighbors::{
-    improve_neighbors, two_opt_neighbors, two_opt_neighbors_seeded, NeighborLists,
+    improve_neighbors, or_opt_neighbors_seeded, two_opt_neighbors, two_opt_neighbors_seeded,
+    NeighborLists,
 };
 pub use splice::{cheapest_insertion_position, splice_point};
 pub use split::{min_collectors_for_bound, split_into_k, SplitTour};

@@ -214,6 +214,10 @@ fn two_opt_neighbors_pass(
 /// `1..=max_segment` (possibly reversed) to an insertion edge adjacent to
 /// a k-nearest neighbor of one of the segment's endpoints. Returns the
 /// total gain.
+///
+/// `seeds` selects the initial queue exactly as in
+/// [`two_opt_neighbors_pass`]: `None` enqueues every city, `Some(cities)`
+/// only those (out-of-range and duplicate entries ignored).
 fn or_opt_neighbors_pass(
     points: &[Point],
     nl: &NeighborLists,
@@ -221,6 +225,7 @@ fn or_opt_neighbors_pass(
     pos: &mut [u32],
     max_segment: usize,
     min_gain: f64,
+    seeds: Option<&[usize]>,
 ) -> f64 {
     let n = order.len();
     let mut total_gain = 0.0;
@@ -228,8 +233,24 @@ fn or_opt_neighbors_pass(
         return 0.0;
     }
     let max_segment = max_segment.min(n - 2).max(1);
-    let mut queue: VecDeque<usize> = order.iter().copied().collect();
-    let mut queued = vec![true; n];
+    let mut queue: VecDeque<usize>;
+    let mut queued;
+    match seeds {
+        None => {
+            queue = order.iter().copied().collect();
+            queued = vec![true; n];
+        }
+        Some(cities) => {
+            queue = VecDeque::with_capacity(cities.len());
+            queued = vec![false; n];
+            for &c in cities {
+                if c < n && !queued[c] {
+                    queued[c] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
     let mut moves = 0u64;
     'cities: while let Some(first) = queue.pop_front() {
         queued[first] = false;
@@ -340,6 +361,41 @@ pub fn two_opt_neighbors_seeded(
     Tour::from_order_unchecked(order).normalized()
 }
 
+/// Seeded neighbor-list Or-opt: like the Or-opt half of
+/// [`improve_neighbors`], but the work queue starts from `seeds` (city
+/// indices) instead of every city, so segment relocations are only tried
+/// around those cities — plus whatever a successful move wakes up.
+///
+/// Companion to [`two_opt_neighbors_seeded`] for seam polishing in the
+/// hierarchical stitcher: 2-opt uncrosses seam edges, Or-opt then pulls
+/// stray 1–3 stop segments across a seam when the tile boundary split them
+/// badly. Out-of-range and duplicate seeds are ignored; an empty seed list
+/// returns the tour unchanged (normalized). Never lengthens the tour.
+pub fn or_opt_neighbors_seeded(
+    points: &[Point],
+    tour: Tour,
+    nl: &NeighborLists,
+    max_segment: usize,
+    min_gain: f64,
+    seeds: &[usize],
+) -> Tour {
+    let mut order = tour.into_order();
+    let mut pos = vec![0u32; order.len()];
+    for (p, &c) in order.iter().enumerate() {
+        pos[c] = p as u32;
+    }
+    or_opt_neighbors_pass(
+        points,
+        nl,
+        &mut order,
+        &mut pos,
+        max_segment,
+        min_gain,
+        Some(seeds),
+    );
+    Tour::from_order_unchecked(order).normalized()
+}
+
 /// Neighbor-list analogue of [`improve`](crate::improve::improve):
 /// alternates candidate-list 2-opt and Or-opt until neither gains (or
 /// `max_passes` is hit). This is the planner's polishing step for large
@@ -383,6 +439,7 @@ pub fn improve_neighbors(
             &mut pos,
             cfg.max_segment,
             cfg.min_gain,
+            None,
         );
         if g1 + g2 <= cfg.min_gain {
             break;
@@ -578,6 +635,50 @@ mod tests {
             let t0 = Tour::identity(50);
             let len0 = t0.length(&cost);
             let t1 = two_opt_neighbors_seeded(&pts, t0, &nl, 1e-9, &[0, 10, 20, 30, 40]);
+            assert!(t1.length(&cost) <= len0 + 1e-9, "seed {seed}");
+            let mut sorted = t1.order().to_vec();
+            sorted.sort_unstable();
+            assert!(sorted.iter().copied().eq(0..50), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn or_opt_seeded_with_all_cities_matches_full_pass() {
+        for seed in 0..10u64 {
+            let pts = random_points(70, seed);
+            let nl = NeighborLists::build(&pts, 10);
+            let t0 = nearest_neighbor(&EuclideanCost::new(&pts));
+            let all: Vec<usize> = t0.order().to_vec();
+            let mut order_full = t0.clone().into_order();
+            let mut pos_full = vec![0u32; 70];
+            for (p, &c) in order_full.iter().enumerate() {
+                pos_full[c] = p as u32;
+            }
+            or_opt_neighbors_pass(&pts, &nl, &mut order_full, &mut pos_full, 3, 1e-9, None);
+            let full = Tour::from_order_unchecked(order_full).normalized();
+            let seeded = or_opt_neighbors_seeded(&pts, t0, &nl, 3, 1e-9, &all);
+            assert_eq!(full.order(), seeded.order(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn or_opt_empty_seeds_leave_the_tour_unchanged() {
+        let pts = random_points(30, 5);
+        let nl = NeighborLists::build(&pts, 8);
+        let t0 = Tour::identity(30);
+        let t1 = or_opt_neighbors_seeded(&pts, t0.clone(), &nl, 3, 1e-9, &[]);
+        assert_eq!(t1.order(), t0.normalized().order());
+    }
+
+    #[test]
+    fn or_opt_seeded_never_lengthens_and_preserves_permutation() {
+        for seed in 0..10u64 {
+            let pts = random_points(50, seed);
+            let cost = EuclideanCost::new(&pts);
+            let nl = NeighborLists::build(&pts, 8);
+            let t0 = nearest_neighbor(&cost);
+            let len0 = t0.length(&cost);
+            let t1 = or_opt_neighbors_seeded(&pts, t0, &nl, 3, 1e-9, &[0, 7, 99, 23, 7]);
             assert!(t1.length(&cost) <= len0 + 1e-9, "seed {seed}");
             let mut sorted = t1.order().to_vec();
             sorted.sort_unstable();

@@ -21,9 +21,43 @@ use mdg_geom::Point;
 pub fn cheapest_insertion_position(cycle: &[Point], p: Point) -> (usize, f64) {
     assert!(!cycle.is_empty(), "cannot splice into an empty tour");
     let n = cycle.len();
+    if n < PAR_SCAN_THRESHOLD {
+        return scan_edges(cycle, p, 0, n);
+    }
+    // Fixed-size blocks scanned independently, then folded in block order
+    // with the same strict `<` as the serial loop: each block's winner is
+    // its earliest cheapest edge, and the in-order fold keeps the earliest
+    // across blocks, so the result is bitwise identical to the serial scan
+    // at any thread count.
+    let parts = mdg_par::par_chunks(n, PAR_SCAN_BLOCK, |range| {
+        scan_edges(cycle, p, range.start, range.end)
+    });
     let mut best_idx = n;
     let mut best_detour = f64::INFINITY;
-    for i in 0..n {
+    for (idx, detour) in parts {
+        if detour < best_detour {
+            best_detour = detour;
+            best_idx = idx;
+        }
+    }
+    (best_idx, best_detour)
+}
+
+/// Below this cycle length the scan stays serial: the pool hand-off costs
+/// more than the arithmetic it would spread.
+const PAR_SCAN_THRESHOLD: usize = 8192;
+/// Fixed block size so the block boundaries — and hence the fold order —
+/// do not depend on the thread count.
+const PAR_SCAN_BLOCK: usize = 8192;
+
+/// Serial scan of edges `lo..hi` of `cycle` (edge `i` runs from stop `i`
+/// to stop `i+1`, the last edge wrapping to the first stop). Returns the
+/// earliest cheapest insertion slot exactly like the public function.
+fn scan_edges(cycle: &[Point], p: Point, lo: usize, hi: usize) -> (usize, f64) {
+    let n = cycle.len();
+    let mut best_idx = n;
+    let mut best_detour = f64::INFINITY;
+    for i in lo..hi {
         let a = cycle[i];
         let b = cycle[(i + 1) % n];
         let detour = a.dist(p) + p.dist(b) - a.dist(b);
@@ -150,6 +184,38 @@ mod tests {
         assert_eq!((idx, detour), (1, 0.0));
         splice_point(&mut cycle, Point::new(7.0, 7.0));
         assert_eq!(cycle.len(), 2);
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_above_threshold() {
+        // A ring with deliberate exact ties (regular polygon: every edge
+        // equidistant from the center point) plus jittered points, large
+        // enough to cross PAR_SCAN_THRESHOLD. The blocked scan must agree
+        // bitwise with the serial reference at several thread counts.
+        let n = PAR_SCAN_THRESHOLD + PAR_SCAN_BLOCK / 2 + 7;
+        let cycle: Vec<Point> = (0..n)
+            .map(|i| {
+                let ang = i as f64 / n as f64 * std::f64::consts::TAU;
+                let r = 1000.0 + ((i * 2654435761) % 97) as f64 * 0.01;
+                Point::new(r * ang.cos(), r * ang.sin())
+            })
+            .collect();
+        let probes = [
+            Point::new(0.0, 0.0),
+            Point::new(1001.0, 0.0),
+            Point::new(-3000.0, 42.0),
+            cycle[n / 3],
+        ];
+        for p in probes {
+            let serial = scan_edges(&cycle, p, 0, n);
+            for threads in [1usize, 2, 4] {
+                mdg_par::set_threads(threads);
+                let par = cheapest_insertion_position(&cycle, p);
+                assert_eq!(par.0, serial.0, "threads={threads} p={p:?}");
+                assert_eq!(par.1.to_bits(), serial.1.to_bits(), "threads={threads}");
+            }
+        }
+        mdg_par::set_threads(0);
     }
 
     #[test]

@@ -74,7 +74,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   mdg plan     --n N --side METERS --range METERS [--seed S] [--cap K] [--greedy] [--threads T]
-               [--hier] [--tile-cells F] [--out bundle.json] [--profile] [--profile-json PATH]
+               [--hier] [--no-hier] [--hier-threshold N] [--tile-cells F] [--out bundle.json]
+               [--profile] [--profile-json PATH]
   mdg fleet    --bundle bundle.json (--k K | --deadline SECS) [--speed M/S] [--upload SECS] [--out fleet.json]
   mdg simulate --bundle bundle.json [--speed M/S] [--upload SECS] [--battery JOULES]
   mdg runtime  --n N --side METERS --range METERS [--seed S] [--rounds R] [--deaths RATE]
@@ -89,8 +90,10 @@ const USAGE: &str = "usage:
 --threads T sets the planner worker-thread count (0 or omitted = auto:
 MDG_THREADS env, else all cores). Plans are bit-identical at any T.
 --hier plans hierarchically (tile the field, plan tiles in parallel,
-stitch + seam touch-up) — the mode for 100k+ sensors. --tile-cells F
-sets the tile side to F × range (omitted = auto-sized by density).
+stitch + seam touch-up) — the mode for 100k+ sensors. Fields above
+--hier-threshold sensors (default 50000) pick --hier automatically;
+--no-hier forces the flat planner at any size. --tile-cells F sets the
+tile side to F × range (omitted = auto-sized by density).
 --profile prints a per-phase timing tree on stderr; --profile-json PATH
 writes the same data as JSONL. Profiling never changes results.";
 
@@ -219,7 +222,20 @@ fn cmd_plan(flags: &Flags) -> Result<(), String> {
             .map_err(|_| "invalid value for --cap".to_string())?;
         cfg.max_sensors_per_pp = Some(cap);
     }
-    let hier = flags.contains_key("hier");
+    let hier_flag = flags.contains_key("hier");
+    let no_hier = flags.contains_key("no-hier");
+    if hier_flag && no_hier {
+        return Err("--hier and --no-hier are mutually exclusive".into());
+    }
+    let hier_threshold: usize = opt(flags, "hier-threshold", 50_000)?;
+    let hier = hier_flag || (!no_hier && n > hier_threshold);
+    if hier && !hier_flag {
+        // The note goes to stderr: stdout stays byte-deterministic.
+        eprintln!(
+            "  note: {n} sensors exceeds --hier-threshold {hier_threshold}; \
+             planning hierarchically (--no-hier forces the flat planner)"
+        );
+    }
     if flags.contains_key("tile-cells") && !hier {
         return Err("--tile-cells only makes sense with --hier".into());
     }

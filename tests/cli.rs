@@ -164,6 +164,67 @@ fn capacitated_plan_flag() {
 }
 
 #[test]
+fn plan_auto_selects_hier_above_the_threshold() {
+    // Above the (lowered) threshold the planner goes hierarchical on its
+    // own, says so on stderr, and reports tiling stats on stdout.
+    let auto = mdg(&[
+        "plan",
+        "--n",
+        "300",
+        "--side",
+        "300",
+        "--range",
+        "30",
+        "--hier-threshold",
+        "200",
+    ]);
+    assert!(auto.status.success(), "{}", stderr(&auto));
+    assert!(
+        stderr(&auto).contains("planning hierarchically"),
+        "{}",
+        stderr(&auto)
+    );
+    assert!(stdout(&auto).contains("tiles"), "{}", stdout(&auto));
+
+    // --no-hier opts out at any size.
+    let flat = mdg(&[
+        "plan",
+        "--n",
+        "300",
+        "--side",
+        "300",
+        "--range",
+        "30",
+        "--hier-threshold",
+        "200",
+        "--no-hier",
+    ]);
+    assert!(flat.status.success(), "{}", stderr(&flat));
+    assert!(!stderr(&flat).contains("planning hierarchically"));
+    assert!(!stdout(&flat).contains("tiles"), "{}", stdout(&flat));
+
+    // Below the threshold nothing changes.
+    let small = mdg(&["plan", "--n", "80", "--side", "150", "--range", "30"]);
+    assert!(small.status.success());
+    assert!(!stdout(&small).contains("tiles"));
+
+    // The two forcing flags cannot be combined.
+    let both = mdg(&[
+        "plan",
+        "--n",
+        "80",
+        "--side",
+        "150",
+        "--range",
+        "30",
+        "--hier",
+        "--no-hier",
+    ]);
+    assert!(!both.status.success());
+    assert!(stderr(&both).contains("mutually exclusive"));
+}
+
+#[test]
 fn errors_are_reported_cleanly() {
     // Missing required flag.
     let out = mdg(&["plan", "--n", "50"]);
