@@ -14,6 +14,7 @@ pub mod faults;
 pub mod figures;
 pub mod params;
 pub mod profile;
+pub mod replay;
 pub mod runner;
 pub mod scale;
 pub mod scale_hier;
@@ -51,6 +52,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "scale_par",
     "serve",
     "serve_hier",
+    "replay",
     "profile",
 ];
 
@@ -80,6 +82,7 @@ pub fn run_experiment(id: &str, params: &Params) -> Option<Table> {
         "scale_par" => Some(scale_par::scale_par(params)),
         "serve" => Some(serve::serve(params)),
         "serve_hier" => Some(serve_hier::serve_hier(params)),
+        "replay" => Some(replay::replay(params)),
         "profile" => Some(profile::profile(params)),
         _ => None,
     }

@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// A static sensor deployment: positions plus the data sink.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Deployment {
     /// Sensor positions; index `i` is sensor `i` throughout the workspace.
     pub sensors: Vec<Point>,

@@ -14,9 +14,10 @@
 use mdg_sim::{RoundHooks, SimEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// A window of degraded collector speed.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Slowdown {
     /// Simulation time when the degradation starts, seconds.
     pub start_secs: f64,
@@ -29,7 +30,7 @@ pub struct Slowdown {
 
 /// Configuration of the injected faults. All faults are derived
 /// deterministically from `seed`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultConfig {
     /// Seed for every fault draw.
     pub seed: u64,

@@ -20,11 +20,18 @@
 //!   restricted greedy + cheapest-insertion splicing + 2-opt touch-up,
 //!   escalating to a full re-plan when too much of the tour is lost.
 //!   Invariant: every live sensor stays single-hop covered.
-//! * [`trace`] — JSONL round traces whose every field is deterministic
-//!   in `(seed, config)`: same seed, byte-identical trace.
+//! * [`trace`] — self-describing JSONL trace bundles (versioned header
+//!   with a replay manifest, then one record per round) whose every
+//!   field is deterministic in `(seed, config)`: same seed,
+//!   byte-identical trace. Format spec: `docs/TRACE_FORMAT.md`.
 //! * [`runtime`] — the control loop tying it together, with
 //!   [`RepairPolicy::Static`] (the paper's offline plan, driven
 //!   unchanged) as the baseline against [`RepairPolicy::Repair`].
+//! * [`replay`] — counterfactual replay over recorded bundles: re-run
+//!   the rounds side-effect-free under alternate repair policies, emit
+//!   [`replay::DivergenceRecord`]s, and sweep policy knobs — with a
+//!   self-check that the original policy reproduces the recording
+//!   byte-for-byte (`INV-CF-DETERMINISTIC`).
 //!
 //! ```
 //! use mdg_core::ShdgPlanner;
@@ -50,12 +57,20 @@
 
 pub mod faults;
 pub mod repair;
+pub mod replay;
 pub mod runtime;
 pub mod state;
 pub mod trace;
 
 pub use faults::{FaultConfig, FaultCounters, FaultPlan, RoundFaults, Slowdown};
 pub use repair::{repair_plan, RepairConfig, RepairReport};
+pub use replay::{
+    CounterfactualResult, DivergenceRecord, PolicyOverrides, ReplayEngine, ReplayError,
+    ReplayOutcome, SelfCheckReport, SweepSpec,
+};
 pub use runtime::{GatheringRuntime, RepairPolicy, RuntimeConfig, RuntimeReport};
 pub use state::{DeathCause, NetworkState};
-pub use trace::{parse_trace, RoundRecord, TraceWriter};
+pub use trace::{
+    parse_bundle, parse_trace, ReplayManifest, RoundRecord, TopologyManifest, TraceBundle,
+    TraceHeader, TraceWriter, TRACE_VERSION,
+};

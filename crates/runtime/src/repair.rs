@@ -27,9 +27,10 @@ use mdg_core::{GatheringPlan, PlannerConfig, PollingPoint, ShdgPlanner, UNASSIGN
 use mdg_cover::{greedy_cover_restricted, CoverageInstance};
 use mdg_net::{Deployment, Network};
 use mdg_tour::{cheapest_insertion_position, improve, ImproveConfig, MatrixCost, Tour};
+use serde::{Deserialize, Serialize};
 
 /// Repair tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RepairConfig {
     /// Local-search passes for the post-splice tour touch-up (0 disables
     /// polishing).

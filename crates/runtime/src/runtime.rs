@@ -26,10 +26,11 @@ use mdg_core::GatheringPlan;
 use mdg_cover::CoverageInstance;
 use mdg_net::Network;
 use mdg_sim::{MobileGatheringSim, MobileScenario, SimConfig, Stop, Upload};
+use serde::{Deserialize, Serialize};
 use std::io::Write;
 
 /// How the runtime reacts to detected failures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RepairPolicy {
     /// Keep driving the original plan forever (the paper's offline SHDG).
     Static,
@@ -37,8 +38,10 @@ pub enum RepairPolicy {
     Repair,
 }
 
-/// Runtime configuration.
-#[derive(Debug, Clone, Copy)]
+/// Runtime configuration. Serializable so a recorded trace bundle's
+/// manifest (see [`crate::trace::TraceHeader`]) can embed the exact
+/// configuration needed to replay the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeConfig {
     /// Simulation parameters (speed, upload time, radio model).
     pub sim: SimConfig,

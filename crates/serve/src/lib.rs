@@ -14,10 +14,18 @@
 //! The moving parts:
 //!
 //! * [`protocol`] — the wire format: line-delimited JSON requests and
-//!   responses, the bounded line reader, stable error codes.
-//! * [`session`] — warm per-field state and the repair-vs-replan decision.
-//! * [`server`] — the daemon: accept loop, LRU-bounded session table,
-//!   per-request panic isolation, metrics, graceful drain.
+//!   responses (protocol v2: `SessionInfo` reports each session's
+//!   `kind` — flat or hier — and `approx_bytes`), the bounded line
+//!   reader, stable error codes.
+//! * [`session`] — warm per-field state and the repair-vs-replan
+//!   decision. Sessions come in two flavors behind one API: flat
+//!   (better tours, quadratic coverage bitmap) and hierarchical
+//!   (tiled `HierPlan` with dirty-tile deltas, O(n) footprint) —
+//!   [`session::FieldSession::plan_cold_auto`] picks by field size
+//!   against [`server::ServeConfig::hier_threshold`].
+//! * [`server`] — the daemon: accept loop, session table bounded by
+//!   count *and* bytes (byte-aware LRU), per-request panic isolation,
+//!   metrics, graceful drain.
 //! * [`client`] — a small blocking client used by the CLI, the CI smoke
 //!   driver, the churn bench, and the tests.
 //!

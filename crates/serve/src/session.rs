@@ -5,7 +5,7 @@
 //! requests, so a `delta` request runs over warm state instead of
 //! planning cold. A session comes in two flavors, chosen at creation:
 //!
-//! * **Flat** (the default up to [`plan_cold_auto`]'s threshold): the
+//! * **Flat** (the default up to [`FieldSession::plan_cold_auto`]'s threshold): the
 //!   deployment, unit-disk graph and spatial grid ([`Network`]), the
 //!   sensor-site coverage instance, the alive mask, and the current plan.
 //!   Deltas run `mdg-runtime`'s adopt/splice/cheapest-insertion repair.

@@ -11,6 +11,8 @@
 //! mdg runtime  --n 200 --side 200 --range 30 [--seed 42] [--rounds R]
 //!              [--deaths RATE] [--loss RATE] [--policy static|repair]
 //!              [--battery JOULES] [--trace out.jsonl] [--profile] [--profile-json PATH]
+//! mdg replay   --trace run.jsonl (--self-check | --sweep KNOB=SPEC | [policy knobs])
+//!              [--out divergence.jsonl] [--threads T]
 //! mdg render   --bundle bundle.json --out figure.svg [--edges]
 //! mdg stats    --n 200 --side 200 --range 30 [--seed 42]
 //! mdg serve    --listen 127.0.0.1:7717 [--max-sessions 64] [--threads T]
@@ -53,6 +55,7 @@ fn main() -> ExitCode {
         "fleet" => cmd_fleet(&flags),
         "simulate" => cmd_simulate(&flags),
         "runtime" => cmd_runtime(&flags),
+        "replay" => cmd_replay(&flags),
         "render" => cmd_render(&flags),
         "stats" => cmd_stats(&flags),
         "export-ilp" => cmd_export_ilp(&flags),
@@ -81,6 +84,11 @@ const USAGE: &str = "usage:
   mdg runtime  --n N --side METERS --range METERS [--seed S] [--rounds R] [--deaths RATE]
                [--loss RATE] [--policy static|repair] [--battery JOULES] [--trace out.jsonl]
                [--threads T] [--profile] [--profile-json PATH]
+  mdg replay   --trace run.jsonl --self-check
+  mdg replay   --trace run.jsonl [--policy static|repair] [--retries N] [--backoff SECS]
+               [--replan-threshold F] [--improve-passes P] [--out divergence.jsonl] [--threads T]
+  mdg replay   --trace run.jsonl --sweep KNOB=LO..HI|KNOB=V1,V2,... [--out divergence.jsonl]
+               [--threads T]
   mdg render   --bundle bundle.json --out figure.svg [--edges]
   mdg stats    --n N --side METERS --range METERS [--seed S]
   mdg export-ilp --n N --side METERS --range METERS [--seed S] --out model.lp
@@ -95,7 +103,12 @@ stitch + seam touch-up) — the mode for 100k+ sensors. Fields above
 --no-hier forces the flat planner at any size. --tile-cells F sets the
 tile side to F × range (omitted = auto-sized by density).
 --profile prints a per-phase timing tree on stderr; --profile-json PATH
-writes the same data as JSONL. Profiling never changes results.";
+writes the same data as JSONL. Profiling never changes results.
+replay re-runs a recorded trace bundle (from `runtime --trace`) under an
+alternate repair policy and reports per-round divergences; --self-check
+verifies the original policy reproduces the recording byte-for-byte, and
+--sweep replays up to 20 values of one knob (retry_budget, backoff_secs,
+replan_threshold or improve_passes). Trace format: docs/TRACE_FORMAT.md.";
 
 /// Applies `--threads` (0 = auto) to the global `mdg-par` policy and
 /// returns the effective thread count for the stderr report. An explicit
@@ -431,8 +444,17 @@ fn cmd_runtime(flags: &Flags) -> Result<(), String> {
     };
     let mut rt = GatheringRuntime::new(network, plan, cfg);
     let report = if let Some(path) = flags.get("trace") {
+        // The header makes the trace a self-describing bundle `mdg replay`
+        // can reconstruct; the compact Uniform manifest suffices because
+        // this command always deploys uniformly from (n, side, seed).
+        let header = TraceHeader::new(ReplayManifest {
+            topology: TopologyManifest::Uniform { n, side, seed },
+            range,
+            config: cfg,
+        });
         let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-        let mut trace = TraceWriter::new(std::io::BufWriter::new(file));
+        let mut trace = TraceWriter::with_header(std::io::BufWriter::new(file), &header)
+            .map_err(|e| format!("trace write failed: {e}"))?;
         let report = rt
             .run_traced(&mut trace)
             .map_err(|e| format!("trace write failed: {e}"))?;
@@ -477,6 +499,140 @@ fn cmd_runtime(flags: &Flags) -> Result<(), String> {
         "  retries/drops: {} / {}; final tour {:.1} m",
         report.retries, report.drops, report.final_tour_length
     );
+    Ok(())
+}
+
+/// `mdg replay`: counterfactual replay of a recorded trace bundle. Three
+/// modes — `--self-check` (verify the original policy reproduces the
+/// recording byte-for-byte), single counterfactual (policy-knob flags),
+/// and `--sweep KNOB=SPEC` (bounded fan-out over one knob). Divergence
+/// records go to `--out` as JSONL; summaries go to stdout.
+fn cmd_replay(flags: &Flags) -> Result<(), String> {
+    use mobile_collectors::runtime::replay::{divergences_to_jsonl, sweep_to_jsonl};
+
+    let path: PathBuf = req(flags, "trace")?;
+    let threads = apply_threads(flags)?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let bundle = parse_bundle(&text).map_err(|e| format!("bad trace {}: {e}", path.display()))?;
+    let engine = ReplayEngine::from_bundle(&bundle).map_err(|e| e.to_string())?;
+    let m = engine.manifest();
+    println!(
+        "replay   : {} ({} rounds, {} sensors, seed {}, {:?})",
+        path.display(),
+        engine.recorded().len(),
+        m.topology.n_sensors(),
+        m.config.faults.seed,
+        m.config.policy
+    );
+
+    if flags.contains_key("self-check") {
+        let report = engine.self_check();
+        if report.ok() {
+            println!(
+                "  self-check   : OK — {} rounds reproduced byte-for-byte",
+                report.rounds_recorded
+            );
+            return Ok(());
+        }
+        if let Some((rec, rep)) = &report.first_diff {
+            eprintln!("  recorded : {rec}");
+            eprintln!("  replayed : {rep}");
+        }
+        return Err(format!(
+            "self-check FAILED: {} of {} rounds diverge (replayed {}) — the determinism \
+             contract is broken between recorder and replayer",
+            report.divergent_rounds.len(),
+            report.rounds_recorded,
+            report.rounds_replayed
+        ));
+    }
+
+    if let Some(spec) = flags.get("sweep") {
+        let spec = SweepSpec::parse(spec).map_err(|e| e.to_string())?;
+        let points = engine.sweep(&spec).map_err(|e| e.to_string())?;
+        println!(
+            "  sweep        : {} = {:?} ({} threads)",
+            spec.knob, spec.values, threads
+        );
+        println!(
+            "  {:>12} {:>10} {:>8} {:>8} {:>12} {:>10}",
+            "value", "delivered", "drops", "diverged", "orphan_s", "tour_m"
+        );
+        for p in &points {
+            let c = &p.result.counterfactual;
+            println!(
+                "  {:>12} {:>10} {:>8} {:>8} {:>12.0} {:>10.1}",
+                p.value,
+                c.delivered,
+                c.drops,
+                p.result.divergences.len(),
+                c.orphan_secs,
+                c.final_tour_length_m
+            );
+        }
+        if let Some(out) = flags.get("out") {
+            let jsonl = sweep_to_jsonl(&points);
+            std::fs::write(out, &jsonl).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("  divergences  : {out} ({} records)", jsonl.lines().count());
+        }
+        return Ok(());
+    }
+
+    let mut overrides = PolicyOverrides::default();
+    if let Some(p) = flags.get("policy") {
+        overrides.policy = Some(match p.as_str() {
+            "repair" => RepairPolicy::Repair,
+            "static" => RepairPolicy::Static,
+            other => return Err(format!("unknown policy `{other}` (static|repair)")),
+        });
+    }
+    for (flag, knob) in [
+        ("retries", "retry_budget"),
+        ("backoff", "backoff_secs"),
+        ("replan-threshold", "replan_threshold"),
+        ("improve-passes", "improve_passes"),
+    ] {
+        if flags.contains_key(flag) {
+            let v: f64 = req(flags, flag)?;
+            overrides.set(knob, v).map_err(|e| e.to_string())?;
+        }
+    }
+    let result = engine.replay(&overrides);
+    println!("  policy       : {}", result.overrides);
+    let orig = &result.original;
+    let cf = &result.counterfactual;
+    println!(
+        "  delivery     : {}/{} → {}/{} ({:+.1} pp)",
+        orig.delivered,
+        orig.expected,
+        cf.delivered,
+        cf.expected,
+        (cf.delivery_ratio() - orig.delivery_ratio()) * 100.0
+    );
+    println!(
+        "  drops/retries: {}/{} → {}/{}",
+        orig.drops, orig.retries, cf.drops, cf.retries
+    );
+    println!(
+        "  repairs      : {} ({} full) → {} ({} full); orphan {:.0} s → {:.0} s",
+        orig.repairs,
+        orig.full_replans,
+        cf.repairs,
+        cf.full_replans,
+        orig.orphan_secs,
+        cf.orphan_secs
+    );
+    println!(
+        "  divergences  : {} of {} rounds",
+        result.divergences.len(),
+        orig.rounds.max(cf.rounds)
+    );
+    if let Some(out) = flags.get("out") {
+        let jsonl = divergences_to_jsonl(&result.divergences);
+        std::fs::write(out, &jsonl).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("  records      : {out}");
+    }
     Ok(())
 }
 

@@ -42,7 +42,7 @@
 //! | [`core`] | `mdg-core` | **the SHDG planner**, exact solver, fleet planner |
 //! | [`sim`] | `mdg-sim` | discrete-event simulator, lifetime studies |
 //! | [`baselines`] | `mdg-baselines` | visit-all, multi-hop routing, CME, direct |
-//! | [`runtime`] | `mdg-runtime` | online re-planning: fault injection, plan repair, traces |
+//! | [`runtime`] | `mdg-runtime` | online re-planning: fault injection, plan repair, trace bundles + counterfactual replay |
 //! | [`serve`] | `mdg-serve` | planning-as-a-service daemon: warm sessions, incremental replans over TCP |
 
 pub mod render;
@@ -71,7 +71,8 @@ pub mod prelude {
     pub use mdg_geom::Point;
     pub use mdg_net::{Deployment, DeploymentConfig, Network, SinkPlacement, Topology};
     pub use mdg_runtime::{
-        FaultConfig, GatheringRuntime, RepairPolicy, RuntimeConfig, TraceWriter,
+        parse_bundle, FaultConfig, GatheringRuntime, PolicyOverrides, RepairPolicy, ReplayEngine,
+        ReplayManifest, RuntimeConfig, SweepSpec, TopologyManifest, TraceHeader, TraceWriter,
     };
     pub use mdg_sim::{
         scenario_from_plan, simulate_lifetime, MobileGatheringSim, MultihopRoutingSim, SimConfig,
