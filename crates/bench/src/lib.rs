@@ -10,6 +10,7 @@
 //! The Criterion benches in `benches/` wrap the same per-point workloads
 //! for performance tracking.
 
+pub mod alloc;
 pub mod faults;
 pub mod figures;
 pub mod params;
@@ -52,6 +53,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "scale_par",
     "serve",
     "serve_hier",
+    "alloc",
     "replay",
     "profile",
 ];
@@ -82,6 +84,7 @@ pub fn run_experiment(id: &str, params: &Params) -> Option<Table> {
         "scale_par" => Some(scale_par::scale_par(params)),
         "serve" => Some(serve::serve(params)),
         "serve_hier" => Some(serve_hier::serve_hier(params)),
+        "alloc" => Some(alloc::alloc(params)),
         "replay" => Some(replay::replay(params)),
         "profile" => Some(profile::profile(params)),
         _ => None,

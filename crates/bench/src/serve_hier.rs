@@ -70,8 +70,14 @@ fn deaths_per_round(n: usize) -> usize {
 }
 
 /// The deterministic churn for one round of one sweep point (shared by
-/// the daemon stream and the in-process determinism replay).
-fn churn_round(n: usize, side: f64, round: usize, total_rounds: usize) -> (Vec<u64>, Vec<Point>) {
+/// the daemon stream, the in-process determinism replay, and the S8
+/// allocation experiment).
+pub(crate) fn churn_round(
+    n: usize,
+    side: f64,
+    round: usize,
+    total_rounds: usize,
+) -> (Vec<u64>, Vec<Point>) {
     let died: Vec<u64> = (0..deaths_per_round(n))
         .map(|i| ((round * 7919 + i * 104_729) % n) as u64)
         .collect();

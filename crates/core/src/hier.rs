@@ -390,7 +390,11 @@ impl HierPlan {
         // 1. Route the delta to its dirty tiles via the position → tile
         //    lattice map. Member lists are updated here even when we end
         //    up escalating — the full rebuild recomputes them anyway.
-        let mut dirty = vec![false; self.tiling.n_tiles()];
+        //    The dirty mask is O(tiles) and rebuilt every delta, so it
+        //    comes from the thread's scratch pool: a warm session replays
+        //    deltas on the same thread and reuses the capacity.
+        let mut dirty: Vec<bool> = mdg_par::scratch::take_cap(self.tiling.n_tiles());
+        dirty.resize(self.tiling.n_tiles(), false);
         let mut n_dirty = 0usize;
         {
             let _sp = mdg_obs::span("dirty_map");
@@ -426,6 +430,7 @@ impl HierPlan {
         }
 
         if n_dirty == 0 && !range_changed {
+            mdg_par::scratch::put(dirty);
             return Ok(HierDeltaReport {
                 full_rebuild: false,
                 dirty_tiles: 0,
@@ -440,6 +445,7 @@ impl HierPlan {
         //    patching the old one.
         if range_changed || 2 * n_dirty >= occupied_before.max(1) {
             mdg_obs::counter("hier/delta_full_replans").add(1);
+            mdg_par::scratch::put(dirty);
             self.rebuild_full(sensors, alive)?;
             return Ok(HierDeltaReport {
                 full_rebuild: true,
@@ -451,7 +457,8 @@ impl HierPlan {
 
         // 3. Re-plan the dirty tiles only, fanned out in serpentine order.
         mdg_obs::counter("hier/dirty_tiles").add(n_dirty as u64);
-        let dirty_list: Vec<usize> = self.tiling.serpentine().filter(|&t| dirty[t]).collect();
+        let mut dirty_list: Vec<usize> = mdg_par::scratch::take();
+        dirty_list.extend(self.tiling.serpentine().filter(|&t| dirty[t]));
         let replanned: Vec<Option<TilePlan>> = {
             let mut sp = mdg_obs::span("replan_tiles");
             sp.add_items(dirty_list.len() as u64);
@@ -485,6 +492,8 @@ impl HierPlan {
         // 4. Re-stitch from the retained sub-tours and polish only the
         //    dirty-adjacent seams.
         self.materialize(sensors, Some(&dirty));
+        mdg_par::scratch::put(dirty);
+        mdg_par::scratch::put(dirty_list);
         Ok(HierDeltaReport {
             full_rebuild: false,
             dirty_tiles: n_dirty,
@@ -536,9 +545,15 @@ impl HierPlan {
             .filter_map(|t| self.tiles[t].as_ref())
             .collect();
         let n_occupied = ordered.len();
-        let (mut cycle_pts, mut cands, seam, spliced) = {
+        // The stitch buffers are O(stops) and rebuilt every materialize;
+        // scratch-pooling them keeps warm deltas off the allocator for
+        // the three biggest temporaries of the re-stitch.
+        let mut cycle_pts: Vec<Point> = mdg_par::scratch::take();
+        let mut cands: Vec<u32> = mdg_par::scratch::take();
+        let mut seam: Vec<bool> = mdg_par::scratch::take();
+        let spliced = {
             let _sp = mdg_obs::span("stitch");
-            stitch(self.sink, &ordered)
+            stitch(self.sink, &ordered, &mut cycle_pts, &mut cands, &mut seam)
         };
         mdg_obs::counter("hier/spliced_stops").add(spliced as u64);
 
@@ -546,26 +561,27 @@ impl HierPlan {
             let mut sp = mdg_obs::span("touch_up");
             sp.add_items(cycle_pts.len() as u64);
             let m = cands.len();
-            let seeds: Vec<usize> = match dirty {
+            let mut seeds: Vec<usize> = mdg_par::scratch::take();
+            match dirty {
                 None => {
                     // The sink joins two seams; every flagged stop is one.
-                    let mut seeds = vec![0usize];
+                    seeds.push(0);
                     seeds.extend(
                         seam.iter()
                             .enumerate()
                             .filter_map(|(k, &s)| s.then_some(k + 1)),
                     );
-                    seeds
                 }
                 Some(mask) => {
                     // Only seams whose tour neighborhood touches a dirty
                     // tile need re-polishing; clean seams were polished
                     // when their tiles last changed.
-                    let stop_dirty: Vec<bool> = cands
-                        .iter()
-                        .map(|&c| mask[self.tiling.tile_of(sensors[c as usize])])
-                        .collect();
-                    let mut seeds = Vec::new();
+                    let mut stop_dirty: Vec<bool> = mdg_par::scratch::take_cap(m);
+                    stop_dirty.extend(
+                        cands
+                            .iter()
+                            .map(|&c| mask[self.tiling.tile_of(sensors[c as usize])]),
+                    );
                     if stop_dirty[0] || stop_dirty[m - 1] {
                         seeds.push(0);
                     }
@@ -579,7 +595,7 @@ impl HierPlan {
                             seeds.push(k + 1);
                         }
                     }
-                    seeds
+                    mdg_par::scratch::put(stop_dirty);
                 }
             };
             if !seeds.is_empty() {
@@ -601,9 +617,14 @@ impl HierPlan {
                 );
                 let order = tour.order();
                 debug_assert_eq!(order[0], 0, "normalized tours lead with the depot");
-                cycle_pts = order.iter().map(|&i| cycle_pts[i]).collect();
-                cands = order[1..].iter().map(|&i| cands[i - 1]).collect();
+                let mut new_pts: Vec<Point> = mdg_par::scratch::take_cap(cycle_pts.len());
+                new_pts.extend(order.iter().map(|&i| cycle_pts[i]));
+                let mut new_cands: Vec<u32> = mdg_par::scratch::take_cap(cands.len());
+                new_cands.extend(order[1..].iter().map(|&i| cands[i - 1]));
+                mdg_par::scratch::put(std::mem::replace(&mut cycle_pts, new_pts));
+                mdg_par::scratch::put(std::mem::replace(&mut cands, new_cands));
             }
+            mdg_par::scratch::put(seeds);
         }
 
         // Assignment: scatter each tile's choices into an id-indexed
@@ -613,7 +634,12 @@ impl HierPlan {
         self.plan = {
             let _sp = mdg_obs::span("assign");
             let n = self.n_sensors;
-            let mut chosen = vec![u32::MAX; n];
+            // Both id-indexed tables are O(sensors) and rebuilt each
+            // materialize; at a million sensors pooling them avoids two
+            // multi-megabyte allocations per delta. (The assignment and
+            // covered lists leave in the plan, so they stay owned.)
+            let mut chosen: Vec<u32> = mdg_par::scratch::take_cap(n);
+            chosen.resize(n, u32::MAX);
             for (t, tp) in self.tiles.iter().enumerate() {
                 if let Some(tp) = tp {
                     for (i, &g) in self.members[t].iter().enumerate() {
@@ -621,7 +647,8 @@ impl HierPlan {
                     }
                 }
             }
-            let mut pp_of = vec![u32::MAX; n];
+            let mut pp_of: Vec<u32> = mdg_par::scratch::take_cap(n);
+            pp_of.resize(n, u32::MAX);
             for (k, &c) in cands.iter().enumerate() {
                 pp_of[c as usize] = k as u32;
             }
@@ -635,6 +662,8 @@ impl HierPlan {
                     }
                 })
                 .collect();
+            mdg_par::scratch::put(chosen);
+            mdg_par::scratch::put(pp_of);
             let mut covered: Vec<Vec<u32>> = vec![Vec::new(); cands.len()];
             for (s, &k) in assignment.iter().enumerate() {
                 if k != UNASSIGNED {
@@ -655,6 +684,9 @@ impl HierPlan {
         debug_assert!(
             (self.plan.tour_length - mdg_geom::closed_tour_length(&cycle_pts)).abs() < 1e-6
         );
+        mdg_par::scratch::put(cycle_pts);
+        mdg_par::scratch::put(cands);
+        mdg_par::scratch::put(seam);
         self.stats = HierStats {
             n_tiles: self.tiling.n_tiles(),
             n_occupied,
@@ -763,20 +795,22 @@ fn plan_tile(
     // each stop's removal gain in a preliminary tile cycle.
     if cap_assign.is_none() && base.prune && selected.len() > 1 {
         let prelim = cycle_over(&inst, &selected, 0);
-        let pts: Vec<Point> = prelim.iter().map(|&c| inst.candidates[c].pos).collect();
+        let mut pts: Vec<Point> = mdg_par::scratch::take_cap(prelim.len());
+        pts.extend(prelim.iter().map(|&c| inst.candidates[c].pos));
         let m = pts.len();
         let order_of: std::collections::HashMap<usize, usize> =
             prelim.iter().enumerate().map(|(k, &c)| (c, k)).collect();
-        let gains: Vec<f64> = (0..m)
-            .map(|i| {
-                let prev = pts[(i + m - 1) % m];
-                let next = pts[(i + 1) % m];
-                prev.dist(pts[i]) + pts[i].dist(next) - prev.dist(next)
-            })
-            .collect();
+        let mut gains: Vec<f64> = mdg_par::scratch::take_cap(m);
+        gains.extend((0..m).map(|i| {
+            let prev = pts[(i + m - 1) % m];
+            let next = pts[(i + 1) % m];
+            prev.dist(pts[i]) + pts[i].dist(next) - prev.dist(next)
+        }));
         selected = prune_cover(&inst, &selected, |c| {
             order_of.get(&c).map_or(0.0, |&k| gains[k])
         });
+        mdg_par::scratch::put(pts);
+        mdg_par::scratch::put(gains);
     }
 
     // Final cycle over the tile's stops.
@@ -807,7 +841,8 @@ fn cycle_over(inst: &CoverageInstance, selected: &[usize], improve_passes: usize
     if m <= 2 {
         return selected.to_vec();
     }
-    let pts: Vec<Point> = selected.iter().map(|&c| inst.candidates[c].pos).collect();
+    let mut pts: Vec<Point> = mdg_par::scratch::take_cap(m);
+    pts.extend(selected.iter().map(|&c| inst.candidates[c].pos));
     let tour = if m <= DENSE_TOUR_LIMIT {
         let cost = MatrixCost::from_points(&pts);
         let tour = mdg_tour::cheapest_insertion(&cost);
@@ -841,7 +876,9 @@ fn cycle_over(inst: &CoverageInstance, selected: &[usize], improve_passes: usize
             tour.normalized()
         }
     };
-    tour.order().iter().map(|&i| selected[i]).collect()
+    let out = tour.order().iter().map(|&i| selected[i]).collect();
+    mdg_par::scratch::put(pts);
+    out
 }
 
 /// Concatenates tile sub-tours into one depot-anchored cycle.
@@ -854,17 +891,28 @@ fn cycle_over(inst: &CoverageInstance, selected: &[usize], improve_passes: usize
 /// individually at their cheapest insertion position — an "empty-ish
 /// tile" never panics, it just rides the splice path.
 ///
-/// Returns `(cycle positions with sink first, global sensor id per stop,
-/// seam flag per stop, spliced stop count)`.
-#[allow(clippy::type_complexity)]
-fn stitch(sink: Point, tile_plans: &[&TilePlan]) -> (Vec<Point>, Vec<u32>, Vec<bool>, usize) {
+/// Writes the cycle into caller-owned buffers (cleared first): `cycle_pts`
+/// gets the positions with the sink first, `cands` the global sensor id
+/// per stop, `seam` a seam flag per stop. Returns the spliced stop count.
+/// Buffer reuse keeps the per-delta re-stitch off the allocator.
+fn stitch(
+    sink: Point,
+    tile_plans: &[&TilePlan],
+    cycle_pts: &mut Vec<Point>,
+    cands: &mut Vec<u32>,
+    seam: &mut Vec<bool>,
+) -> usize {
     let total: usize = tile_plans.iter().map(|tp| tp.stops.len()).sum();
-    let mut cycle_pts: Vec<Point> = Vec::with_capacity(total + 1);
+    cycle_pts.clear();
+    cycle_pts.reserve(total + 1);
     cycle_pts.push(sink);
-    let mut cands: Vec<u32> = Vec::with_capacity(total);
-    let mut seam: Vec<bool> = Vec::with_capacity(total);
-    let mut deferred: Vec<(Point, u32)> = Vec::new();
+    cands.clear();
+    cands.reserve(total);
+    seam.clear();
+    seam.reserve(total);
+    let mut deferred: Vec<(Point, u32)> = mdg_par::scratch::take();
 
+    let mut path: Vec<usize> = mdg_par::scratch::take();
     for &tp in tile_plans {
         let m = tp.stops.len();
         if m == 0 {
@@ -885,7 +933,8 @@ fn stitch(sink: Point, tile_plans: &[&TilePlan]) -> (Vec<Point>, Vec<u32>, Vec<b
                 cut_len = len;
             }
         }
-        let mut path: Vec<usize> = (1..=m).map(|j| (cut + j) % m).collect();
+        path.clear();
+        path.extend((1..=m).map(|j| (cut + j) % m));
         let tail = *cycle_pts.last().expect("cycle starts with the sink");
         if tail.dist(tp.stops[path[m - 1]]) < tail.dist(tp.stops[path[0]]) {
             path.reverse();
@@ -899,11 +948,12 @@ fn stitch(sink: Point, tile_plans: &[&TilePlan]) -> (Vec<Point>, Vec<u32>, Vec<b
         seam[start] = true;
         *seam.last_mut().expect("just pushed") = true;
     }
+    mdg_par::scratch::put(path);
 
     // Splice the stragglers one by one.
     let spliced = deferred.len();
-    for (p, c) in deferred {
-        let (idx, _) = cheapest_insertion_position(&cycle_pts, p);
+    for &(p, c) in &deferred {
+        let (idx, _) = cheapest_insertion_position(cycle_pts, p);
         cycle_pts.insert(idx, p);
         cands.insert(idx - 1, c);
         seam.insert(idx - 1, true);
@@ -915,7 +965,8 @@ fn stitch(sink: Point, tile_plans: &[&TilePlan]) -> (Vec<Point>, Vec<u32>, Vec<b
             seam[idx] = true;
         }
     }
-    (cycle_pts, cands, seam, spliced)
+    mdg_par::scratch::put(deferred);
+    spliced
 }
 
 #[cfg(test)]
@@ -1034,15 +1085,23 @@ mod tests {
             cands: vec![4],
             chosen: vec![],
         };
-        let (pts, cands, seam, spliced) = stitch(sink, &[&e1, &square, &e2, &lone, &e3]);
+        let (mut pts, mut cands, mut seam) = (Vec::new(), Vec::new(), Vec::new());
+        let spliced = stitch(
+            sink,
+            &[&e1, &square, &e2, &lone, &e3],
+            &mut pts,
+            &mut cands,
+            &mut seam,
+        );
         assert_eq!(pts.len(), 6, "sink + 4 square stops + 1 spliced");
         assert_eq!(cands.len(), 5);
         assert_eq!(seam.len(), 5);
         assert_eq!(spliced, 1);
         assert!(cands.contains(&4), "the lone stop was spliced in");
 
-        // All tiles empty: just the sink, nothing spliced.
-        let (pts, cands, _, spliced) = stitch(sink, &[&e1]);
+        // All tiles empty: just the sink, nothing spliced (and the
+        // out-buffers are cleared of the previous stitch).
+        let spliced = stitch(sink, &[&e1], &mut pts, &mut cands, &mut seam);
         assert_eq!(pts, vec![sink]);
         assert!(cands.is_empty());
         assert_eq!(spliced, 0);

@@ -161,13 +161,20 @@ pub fn tour_aware_cover(
     let ctr_probes = mdg_obs::counter("tour_aware/cache_probes");
     let mut covered = BitSet::new(n);
     let mut selected = Vec::new();
-    let mut tour_pts: Vec<Point> = vec![sink];
+    // `selected`/`tour_cands` leave in the result; everything else below
+    // is per-call working state drawn from the thread's scratch pool —
+    // this routine runs once per dirty tile per delta in the hierarchical
+    // planner, so its working set is reused rather than reallocated.
+    let mut tour_pts: Vec<Point> = mdg_par::scratch::take();
+    tour_pts.push(sink);
     let mut tour_cands: Vec<usize> = Vec::new(); // parallel to tour_pts[1..]
-    let mut tour_nodes: Vec<usize> = vec![SINK]; // candidate ids, parallel to tour_pts
+    let mut tour_nodes: Vec<usize> = mdg_par::scratch::take(); // candidate ids, parallel to tour_pts
+    tour_nodes.push(SINK);
     let mut remaining = n;
 
     // Inverted index in CSR form: candidates covering each target.
-    let mut inv_starts = vec![0u32; n + 1];
+    let mut inv_starts: Vec<u32> = mdg_par::scratch::take_cap(n + 1);
+    inv_starts.resize(n + 1, 0);
     for cand in &inst.candidates {
         for t in cand.covers.iter_ones() {
             inv_starts[t + 1] += 1;
@@ -176,8 +183,10 @@ pub fn tour_aware_cover(
     for t in 0..n {
         inv_starts[t + 1] += inv_starts[t];
     }
-    let mut inv: Vec<u32> = vec![0; inv_starts[n] as usize];
-    let mut cursor = inv_starts.clone();
+    let mut inv: Vec<u32> = mdg_par::scratch::take_cap(inv_starts[n] as usize);
+    inv.resize(inv_starts[n] as usize, 0);
+    let mut cursor: Vec<u32> = mdg_par::scratch::take_cap(n + 1);
+    cursor.extend_from_slice(&inv_starts);
     for (c, cand) in inst.candidates.iter().enumerate() {
         for t in cand.covers.iter_ones() {
             inv[cursor[t] as usize] = c as u32;
@@ -185,15 +194,20 @@ pub fn tour_aware_cover(
         }
     }
 
-    let mut gain: Vec<usize> = inst.candidates.iter().map(|c| c.covers.count()).collect();
+    let mut gain: Vec<usize> = mdg_par::scratch::take_cap(n_cands);
+    gain.extend(inst.candidates.iter().map(|c| c.covers.count()));
     // Cheapest-insertion cache, valid while the tour has ≥ 2 points.
-    let mut cache: Vec<InsEntry> = vec![
+    // Sized exactly up front: the selection loop hands disjoint slabs of
+    // it to `par_chunks_mut`, so it must never grow mid-run.
+    let mut cache: Vec<InsEntry> = mdg_par::scratch::take_cap(n_cands);
+    cache.resize(
+        n_cands,
         InsEntry {
             delta: f64::INFINITY,
             after: SINK,
-        };
-        n_cands
-    ];
+        },
+    );
+    let cache_cap = cache.capacity();
     let point_of = |id: usize, inst: &CoverageInstance| -> Point {
         if id == SINK {
             sink
@@ -353,6 +367,18 @@ pub fn tour_aware_cover(
             });
         }
     }
+    debug_assert_eq!(
+        cache.capacity(),
+        cache_cap,
+        "insertion-cache slab must be sized up front"
+    );
+    mdg_par::scratch::put(tour_pts);
+    mdg_par::scratch::put(tour_nodes);
+    mdg_par::scratch::put(inv_starts);
+    mdg_par::scratch::put(inv);
+    mdg_par::scratch::put(cursor);
+    mdg_par::scratch::put(gain);
+    mdg_par::scratch::put(cache);
     Some(TourAwareCover {
         selected,
         tour_candidates: tour_cands,

@@ -34,7 +34,13 @@ pub struct SpatialGrid {
     /// CSR-style bucket layout: `starts[c]..starts[c+1]` indexes into `items`.
     starts: Vec<u32>,
     items: Vec<u32>,
-    points: Vec<Point>,
+    /// Coordinates in **item-slot order** (`xs[s]`/`ys[s]` pair with
+    /// `items[s]`), not original index order: a bucket scan walks two
+    /// contiguous `f64` runs instead of pointer-chasing an AoS `Point`
+    /// array through the `items` indirection. The permuted SoA layout is
+    /// what makes `for_each_within` stream.
+    xs: Vec<f64>,
+    ys: Vec<f64>,
 }
 
 impl SpatialGrid {
@@ -87,6 +93,14 @@ impl SpatialGrid {
             cursor[c] += 1;
         }
 
+        let mut xs = Vec::with_capacity(items.len());
+        let mut ys = Vec::with_capacity(items.len());
+        for &i in &items {
+            let p = points[i as usize];
+            xs.push(p.x);
+            ys.push(p.y);
+        }
+
         SpatialGrid {
             cell,
             cols,
@@ -94,18 +108,19 @@ impl SpatialGrid {
             origin,
             starts,
             items,
-            points: points.to_vec(),
+            xs,
+            ys,
         }
     }
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.items.len()
     }
 
     /// Returns `true` if the grid indexes no points.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.items.is_empty()
     }
 
     /// Indices of all points within `radius` of `query`, excluding none.
@@ -114,13 +129,27 @@ impl SpatialGrid {
     /// correct.
     pub fn neighbors_within(&self, query: Point, radius: f64) -> Vec<u32> {
         let mut out = Vec::new();
-        self.for_each_within(query, radius, |i| out.push(i));
+        self.neighbors_within_into(query, radius, &mut out);
         out
+    }
+
+    /// [`SpatialGrid::neighbors_within`] into a caller-owned buffer
+    /// (cleared first), so steady-state query loops reuse capacity.
+    pub fn neighbors_within_into(&self, query: Point, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        self.for_each_within(query, radius, |i| out.push(i));
     }
 
     /// Visits the index of every point within `radius` of `query`.
     pub fn for_each_within<F: FnMut(u32)>(&self, query: Point, radius: f64, mut f: F) {
-        if self.points.is_empty() {
+        self.for_each_within_d(query, radius, |i, _| f(i));
+    }
+
+    /// Visits `(index, dist_sq)` of every point within `radius` of `query`
+    /// — the distance is already computed for the filter, so callers that
+    /// need it (k-NN, nearest) avoid a second scan of the point data.
+    pub fn for_each_within_d<F: FnMut(u32, f64)>(&self, query: Point, radius: f64, mut f: F) {
+        if self.items.is_empty() {
             return;
         }
         let r_sq = radius * radius;
@@ -138,9 +167,12 @@ impl SpatialGrid {
                 let c = cy as usize * self.cols + cx as usize;
                 let lo = self.starts[c] as usize;
                 let hi = self.starts[c + 1] as usize;
-                for &i in &self.items[lo..hi] {
-                    if self.points[i as usize].dist_sq(query) <= r_sq {
-                        f(i);
+                // Slot-order scan: xs/ys stream contiguously; `items` is
+                // only touched for the (rarer) hits.
+                for s in lo..hi {
+                    let d = Point::new(self.xs[s], self.ys[s]).dist_sq(query);
+                    if d <= r_sq {
+                        f(self.items[s], d);
                     }
                 }
             }
@@ -156,18 +188,37 @@ impl SpatialGrid {
     /// confirmed inside the scanned radius, so the expected cost is
     /// `O(k + local density)` for uniform fields.
     pub fn k_nearest(&self, query: Point, k: usize, exclude: Option<u32>) -> Vec<u32> {
-        let available =
-            self.points.len() - usize::from(exclude.is_some() && !self.points.is_empty());
+        let mut hits = Vec::new();
+        let mut out = Vec::new();
+        self.k_nearest_into(query, k, exclude, &mut hits, &mut out);
+        out
+    }
+
+    /// [`SpatialGrid::k_nearest`] into caller-owned buffers: `out`
+    /// receives the result (cleared first) and `hits` is distance-scratch
+    /// whose contents are meaningless afterwards. Reusing both across a
+    /// build loop removes the two allocations per query that dominated
+    /// k-NN list construction.
+    pub fn k_nearest_into(
+        &self,
+        query: Point,
+        k: usize,
+        exclude: Option<u32>,
+        hits: &mut Vec<(f64, u32)>,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        let available = self.items.len() - usize::from(exclude.is_some() && !self.items.is_empty());
         let want = k.min(available);
         if want == 0 {
-            return Vec::new();
+            return;
         }
         let mut radius = self.cell;
         loop {
-            let mut hits: Vec<(f64, u32)> = Vec::new();
-            self.for_each_within(query, radius, |i| {
+            hits.clear();
+            self.for_each_within_d(query, radius, |i, d| {
                 if exclude != Some(i) {
-                    hits.push((self.points[i as usize].dist_sq(query), i));
+                    hits.push((d, i));
                 }
             });
             if hits.len() >= want {
@@ -177,7 +228,8 @@ impl SpatialGrid {
                 // the scanned ring: every unscanned point is farther than
                 // `radius`, hence farther than the k-th hit.
                 if hits[want - 1].0.sqrt() <= radius {
-                    return hits.into_iter().map(|(_, i)| i).collect();
+                    out.extend(hits.iter().map(|&(_, i)| i));
+                    return;
                 }
             }
             // Doubling terminates: once `radius` exceeds the distance to the
@@ -189,7 +241,7 @@ impl SpatialGrid {
     /// Index of the point nearest to `query`, or `None` if the grid is
     /// empty. Expands the search ring until a hit is confirmed closest.
     pub fn nearest(&self, query: Point) -> Option<u32> {
-        if self.points.is_empty() {
+        if self.items.is_empty() {
             return None;
         }
         let mut radius = self.cell;
@@ -200,8 +252,7 @@ impl SpatialGrid {
         };
         loop {
             let mut best: Option<(u32, f64)> = None;
-            self.for_each_within(query, radius, |i| {
-                let d = self.points[i as usize].dist_sq(query);
+            self.for_each_within_d(query, radius, |i, d| {
                 if best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((i, d));
                 }
@@ -215,13 +266,18 @@ impl SpatialGrid {
             }
             if radius > diag {
                 // Fall back to a full scan; only reachable for queries far
-                // outside the indexed extent.
-                return self
-                    .points
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1.dist_sq(query).partial_cmp(&b.1.dist_sq(query)).unwrap())
-                    .map(|(i, _)| i as u32);
+                // outside the indexed extent. Ties resolve to the smallest
+                // original index (matching the pre-SoA first-wins scan in
+                // index order), so the permuted slot order is invisible.
+                let mut best: Option<(f64, u32)> = None;
+                for s in 0..self.items.len() {
+                    let d = Point::new(self.xs[s], self.ys[s]).dist_sq(query);
+                    let i = self.items[s];
+                    if best.is_none_or(|(bd, bi)| d < bd || (d == bd && i < bi)) {
+                        best = Some((d, i));
+                    }
+                }
+                return best.map(|(_, i)| i);
             }
             radius *= 2.0;
         }

@@ -37,9 +37,13 @@ pub fn build_udg_with_grid(points: &[Point], range: f64, grid: &SpatialGrid) -> 
     let n = points.len();
     let mut edges: Vec<(u32, u32, f64)> = Vec::new();
     for (i, &p) in points.iter().enumerate() {
-        grid.for_each_within(p, range, |j| {
+        // The grid hands the squared distance back from its (SoA,
+        // contiguous) scan; `d_sq.sqrt()` is bit-identical to
+        // `p.dist(points[j])` because `dist` is defined as
+        // `dist_sq().sqrt()` and squaring is sign-symmetric.
+        grid.for_each_within_d(p, range, |j, d_sq| {
             if (i as u32) < j {
-                edges.push((i as u32, j, p.dist(points[j as usize])));
+                edges.push((i as u32, j, d_sq.sqrt()));
             }
         });
     }
@@ -116,12 +120,22 @@ impl Network {
     /// `dist² ≤ range²` predicate a linear scan would, so the result is
     /// identical — just `O(local density)` instead of `O(n)`.
     pub fn sensors_within_range_of(&self, p: Point) -> Vec<u32> {
-        let Some(grid) = &self.grid else {
-            return Vec::new();
-        };
-        let mut near = grid.neighbors_within(p, self.range);
-        near.sort_unstable();
+        let mut near = Vec::new();
+        self.sensors_within_range_of_into(p, &mut near);
         near
+    }
+
+    /// [`Network::sensors_within_range_of`] into a caller-owned buffer
+    /// (cleared first). The repair loop issues this query once per stop
+    /// per round; reusing the buffer keeps the steady state off the
+    /// allocator.
+    pub fn sensors_within_range_of_into(&self, p: Point, out: &mut Vec<u32>) {
+        out.clear();
+        let Some(grid) = &self.grid else {
+            return;
+        };
+        grid.neighbors_within_into(p, self.range, out);
+        out.sort_unstable();
     }
 
     /// Returns `true` if the sensor-only graph is connected (vacuously true

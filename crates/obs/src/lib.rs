@@ -56,12 +56,21 @@
 //! mdg_obs::reset();
 //! ```
 
+pub mod alloc;
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+/// The workspace's global allocator: a pass-through to the system
+/// allocator until [`alloc::set_counting`] turns tallying on. Declared
+/// here so every binary linking `mdg-obs` (the whole workspace) can
+/// measure its heap traffic without per-binary boilerplate.
+#[global_allocator]
+static GLOBAL_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
 /// Number of log2 histogram buckets: bucket 0 holds zeros, bucket `i` (1..=64)
 /// holds values in `[2^(i-1), 2^i)`.
@@ -86,6 +95,9 @@ struct SpanStat {
     calls: u64,
     wall_nanos: u64,
     items: u64,
+    alloc_count: u64,
+    alloc_bytes: u64,
+    alloc_peak: u64,
 }
 
 struct HistInner {
@@ -117,6 +129,9 @@ struct ActiveSpan {
     prev_len: usize,
     start: Instant,
     items: u64,
+    /// Thread allocation tallies at open — `Some` only while the counting
+    /// allocator is active, so spans stay one atomic load otherwise.
+    alloc_mark: Option<alloc::ThreadMark>,
 }
 
 /// RAII guard for a phase span. Created by [`span()`]; on drop it accumulates
@@ -140,12 +155,18 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(a) = self.inner.take() {
             let elapsed = a.start.elapsed().as_nanos() as u64;
+            let alloc_delta = a.alloc_mark.map(alloc::window);
             PATH.with(|p| p.borrow_mut().truncate(a.prev_len));
             let mut spans = registry().spans.lock().unwrap();
             let st = spans.entry(a.path).or_default();
             st.calls += 1;
             st.wall_nanos += elapsed;
             st.items += a.items;
+            if let Some(d) = alloc_delta {
+                st.alloc_count += d.count;
+                st.alloc_bytes += d.bytes;
+                st.alloc_peak = st.alloc_peak.max(d.peak);
+            }
         }
     }
 }
@@ -172,6 +193,7 @@ pub fn span(name: &str) -> Span {
             prev_len,
             start: Instant::now(),
             items: 0,
+            alloc_mark: alloc::mark(),
         }),
     }
 }
@@ -261,7 +283,7 @@ pub fn bucket_range(i: usize) -> (u64, u64) {
 }
 
 /// Snapshot of one span path's accumulated stats.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SpanRecord {
     /// `/`-joined hierarchical path, e.g. `plan/cover/lazy_greedy`.
     pub path: String,
@@ -271,6 +293,14 @@ pub struct SpanRecord {
     pub wall_nanos: u64,
     /// Total items attributed via [`Span::add_items`].
     pub items: u64,
+    /// Heap allocations performed on the span's thread inside its window
+    /// (zero unless the counting allocator was active — see
+    /// [`alloc::set_counting`]).
+    pub alloc_count: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+    /// High-water mark of the span thread's live bytes inside the window.
+    pub alloc_peak: u64,
 }
 
 /// Snapshot of one histogram: total sample count plus sparse
@@ -311,6 +341,9 @@ pub fn snapshot() -> Profile {
             calls: st.calls,
             wall_nanos: st.wall_nanos,
             items: st.items,
+            alloc_count: st.alloc_count,
+            alloc_bytes: st.alloc_bytes,
+            alloc_peak: st.alloc_peak,
         })
         .collect();
     let counters = reg
@@ -396,10 +429,18 @@ impl Profile {
                         calls: s.calls.saturating_sub(b.calls),
                         wall_nanos: s.wall_nanos.saturating_sub(b.wall_nanos),
                         items: s.items.saturating_sub(b.items),
+                        alloc_count: s.alloc_count.saturating_sub(b.alloc_count),
+                        alloc_bytes: s.alloc_bytes.saturating_sub(b.alloc_bytes),
+                        // A high-water mark is a level, not a monotone
+                        // counter: the window's true peak is unknowable
+                        // from two cumulative snapshots, so pass the
+                        // later (covering) value through.
+                        alloc_peak: s.alloc_peak,
                     },
                     None => s.clone(),
                 };
-                (d.calls != 0 || d.wall_nanos != 0 || d.items != 0).then_some(d)
+                (d.calls != 0 || d.wall_nanos != 0 || d.items != 0 || d.alloc_count != 0)
+                    .then_some(d)
             })
             .collect();
         let base_counters: BTreeMap<&str, u64> = baseline
@@ -473,6 +514,9 @@ impl Profile {
                 .filter(|s| !s.path.contains('/'))
                 .map(|s| s.wall_nanos)
                 .sum();
+            // Allocation columns appear only when the counting allocator
+            // recorded something, so the tree is unchanged otherwise.
+            let with_alloc = self.spans.iter().any(|s| s.alloc_count > 0);
             let name_w = self
                 .spans
                 .iter()
@@ -484,11 +528,19 @@ impl Profile {
                 .max()
                 .unwrap_or(0)
                 .max(12);
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "{:name_w$}  {:>10}  {:>8}  {:>6}  {:>12}",
                 "phase", "wall ms", "calls", "%root", "items"
             );
+            if with_alloc {
+                let _ = write!(
+                    out,
+                    "  {:>10}  {:>10}  {:>10}",
+                    "allocs", "alloc MiB", "peak MiB"
+                );
+            }
+            out.push('\n');
             for s in &self.spans {
                 let depth = s.path.matches('/').count();
                 let name = s.path.rsplit('/').next().unwrap_or(&s.path);
@@ -504,7 +556,7 @@ impl Profile {
                 } else {
                     "-".to_string()
                 };
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "{:name_w$}  {:>10.2}  {:>8}  {:>5.1}%  {:>12}",
                     format!("{indent}{name}"),
@@ -513,6 +565,16 @@ impl Profile {
                     pct,
                     items
                 );
+                if with_alloc {
+                    let _ = write!(
+                        out,
+                        "  {:>10}  {:>10.2}  {:>10.2}",
+                        s.alloc_count,
+                        s.alloc_bytes as f64 / (1 << 20) as f64,
+                        s.alloc_peak as f64 / (1 << 20) as f64
+                    );
+                }
+                out.push('\n');
             }
         }
         if !self.counters.is_empty() {
@@ -550,14 +612,25 @@ impl Profile {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for s in &self.spans {
-            let _ = writeln!(
+            let _ = write!(
                 out,
-                "{{\"kind\":\"span\",\"path\":{},\"calls\":{},\"wall_nanos\":{},\"items\":{}}}",
+                "{{\"kind\":\"span\",\"path\":{},\"calls\":{},\"wall_nanos\":{},\"items\":{}",
                 json_string(&s.path),
                 s.calls,
                 s.wall_nanos,
                 s.items
             );
+            // Allocation fields are additive and optional: emitted only
+            // when the counting allocator attributed traffic to the span,
+            // so existing consumers see byte-identical lines otherwise.
+            if s.alloc_count > 0 || s.alloc_bytes > 0 || s.alloc_peak > 0 {
+                let _ = write!(
+                    out,
+                    ",\"alloc_count\":{},\"alloc_bytes\":{},\"alloc_peak\":{}",
+                    s.alloc_count, s.alloc_bytes, s.alloc_peak
+                );
+            }
+            out.push_str("}\n");
         }
         for (path, v) in &self.counters {
             let _ = writeln!(
@@ -781,6 +854,7 @@ mod tests {
                 calls: 2,
                 wall_nanos: 100,
                 items: 10,
+                ..SpanRecord::default()
             }],
             ..Profile::default()
         };
@@ -791,12 +865,14 @@ mod tests {
                     calls: 1,
                     wall_nanos: 7,
                     items: 0,
+                    ..SpanRecord::default()
                 },
                 SpanRecord {
                     path: "serve/plan".into(),
                     calls: 5,
                     wall_nanos: 260,
                     items: 31,
+                    ..SpanRecord::default()
                 },
             ],
             ..Profile::default()
@@ -876,6 +952,7 @@ mod tests {
                 calls: 9,
                 wall_nanos: 900,
                 items: 9,
+                ..SpanRecord::default()
             }],
             counters: vec![("c".into(), 9)],
             hists: vec![HistRecord {
@@ -890,6 +967,7 @@ mod tests {
                 calls: 1,
                 wall_nanos: 100,
                 items: 1,
+                ..SpanRecord::default()
             }],
             counters: vec![("c".into(), 2)],
             hists: vec![HistRecord {

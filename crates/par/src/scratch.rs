@@ -1,0 +1,309 @@
+//! Reusable scratch arenas: capacity that survives the call.
+//!
+//! The planner's hot paths (per-tile cover→prune→tour, insertion-cache
+//! slabs, k-NN builds, 2-opt/Or-opt move buffers) are *re-solved*
+//! constantly — per tile, per delta, per request — and historically
+//! rebuilt their entire working set from the allocator each time. This
+//! module gives every thread a [`Scratch`] pool of typed `Vec`s:
+//! [`take`] pops a previously returned buffer (length-cleared, capacity
+//! intact) and [`put`] returns it, so steady-state callers reuse
+//! capacity instead of reallocating. `mdg-par` workers are persistent
+//! named threads, so their pools live across `par_map`/`par_chunks`
+//! calls; sequential paths use the calling thread's pool, and long-lived
+//! owners (a retained `HierPlan`, a serve session) can hold an explicit
+//! [`Scratch`] instead.
+//!
+//! # Determinism contract
+//!
+//! A pooled buffer is indistinguishable from a fresh one to any code
+//! that only reads what it wrote: [`take`] always returns `len() == 0`,
+//! and content beyond the length is **never trusted** — only capacity is
+//! reused. That makes arenas invisible to the bit-identical-at-any-
+//! thread-count invariant: switching pooling off ([`set_enabled`])
+//! must not change any plan, and the workspace `scratch_poison` suite
+//! enforces it adversarially by filling the spare capacity of every
+//! returned buffer with sentinel bytes ([`set_poison`]) and re-running
+//! the equivalence suites.
+//!
+//! # Why `TypeId`-keyed pools
+//!
+//! Hot paths pool many element types (`u32`, `f64`, `bool`, candidate
+//! structs…). One generic pool keyed by `TypeId` keeps the API a single
+//! `take::<T>()`/`put(v)` pair; after the first `put` of each type the
+//! steady state performs no allocation at all (one `HashMap` probe and a
+//! `Vec` pop/push).
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static POISON: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+/// Globally enable or disable pooling (on by default). While off,
+/// [`take`] returns fresh `Vec`s and [`put`] drops its argument — the
+/// allocation behaviour the workspace had before arenas, used by the
+/// equivalence suites to prove arenas never change results.
+pub fn set_enabled(on: bool) {
+    ENV_INIT.call_once(|| {});
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether pooling is currently on. The first query honors the
+/// `MDG_SCRATCH` environment variable (`0`/`false` disables pooling), so
+/// A/B measurements of the arenas need no code change; an explicit
+/// [`set_enabled`] beforehand wins over the environment.
+#[inline]
+pub fn enabled() -> bool {
+    ENV_INIT.call_once(|| {
+        if let Ok(v) = std::env::var("MDG_SCRATCH") {
+            if v == "0" || v.eq_ignore_ascii_case("false") {
+                ENABLED.store(false, Ordering::Relaxed);
+            }
+        }
+    });
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adversarial testing aid: while on, every buffer returned to a pool
+/// has its spare capacity filled with `0xA5` sentinel bytes, so any code
+/// path that trusts stale contents (e.g. an unchecked `set_len`) yields
+/// garbage instead of silently reading the previous call's data. Off by
+/// default; flipped by the `scratch_poison` suite.
+pub fn set_poison(on: bool) {
+    POISON.store(on, Ordering::Relaxed);
+}
+
+/// Whether poisoning is currently on.
+#[inline]
+pub fn poison() -> bool {
+    POISON.load(Ordering::Relaxed)
+}
+
+/// A pool of reusable typed buffers. Most callers use the thread-local
+/// pool through the free functions [`take`]/[`put`]; long-lived owners
+/// (retained plans, serve sessions) can embed their own `Scratch` so
+/// buffer lifetime matches the owner, not the thread.
+#[derive(Default)]
+pub struct Scratch {
+    /// `TypeId::of::<T>()` → `Vec<Vec<T>>` (boxed to erase `T`).
+    pools: HashMap<TypeId, Box<dyn Any + Send>>,
+    /// `VecDeque` scratch for the queue-driven local-search passes.
+    deques_u32: Vec<VecDeque<u32>>,
+}
+
+impl Scratch {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    fn pool_mut<T: Send + 'static>(&mut self) -> &mut Vec<Vec<T>> {
+        self.pools
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(Vec::<Vec<T>>::new()))
+            .downcast_mut::<Vec<Vec<T>>>()
+            .expect("scratch pool type confusion")
+    }
+
+    /// Pop a pooled buffer of `T` (empty, with whatever capacity its
+    /// last user grew it to), or a fresh `Vec` if the pool is empty or
+    /// pooling is disabled.
+    pub fn take<T: Send + 'static>(&mut self) -> Vec<T> {
+        if !enabled() {
+            return Vec::new();
+        }
+        match self.pool_mut::<T>().pop() {
+            Some(v) => {
+                debug_assert!(v.is_empty(), "pooled buffer stored non-empty");
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// [`Scratch::take`] plus `reserve(cap)`, for call sites that know
+    /// their size up front.
+    pub fn take_cap<T: Send + 'static>(&mut self, cap: usize) -> Vec<T> {
+        let mut v = self.take();
+        v.reserve(cap);
+        v
+    }
+
+    /// Return a buffer to the pool (cleared; dropped when pooling is
+    /// disabled). Zero-capacity buffers are dropped — pooling them would
+    /// just grow the free list without saving an allocation.
+    pub fn put<T: Send + 'static>(&mut self, mut v: Vec<T>) {
+        if !enabled() || v.capacity() == 0 {
+            return;
+        }
+        v.clear();
+        if poison() {
+            poison_spare(&mut v);
+        }
+        self.pool_mut::<T>().push(v);
+    }
+
+    /// Pop a pooled `VecDeque<u32>` (or a fresh one).
+    pub fn take_deque_u32(&mut self) -> VecDeque<u32> {
+        if !enabled() {
+            return VecDeque::new();
+        }
+        self.deques_u32.pop().unwrap_or_default()
+    }
+
+    /// Return a `VecDeque<u32>` to the pool.
+    pub fn put_deque_u32(&mut self, mut d: VecDeque<u32>) {
+        if !enabled() || d.capacity() == 0 {
+            return;
+        }
+        d.clear();
+        self.deques_u32.push(d);
+    }
+}
+
+/// Fill the spare (beyond-`len`) capacity of `v` with `0xA5` bytes.
+fn poison_spare<T>(v: &mut Vec<T>) {
+    let spare = v.spare_capacity_mut();
+    if spare.is_empty() || std::mem::size_of::<T>() == 0 {
+        return;
+    }
+    // SAFETY: `spare_capacity_mut` is exactly the allocated-but-
+    // uninitialized tail; writing raw bytes there initializes nothing
+    // logically (len is unchanged) and touches only owned memory.
+    unsafe {
+        std::ptr::write_bytes(
+            spare.as_mut_ptr() as *mut u8,
+            0xA5,
+            std::mem::size_of_val(spare),
+        );
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Take a buffer from the current thread's pool. See [`Scratch::take`].
+pub fn take<T: Send + 'static>() -> Vec<T> {
+    SCRATCH.with(|s| s.borrow_mut().take())
+}
+
+/// Take a buffer with at least `cap` capacity from the current thread's
+/// pool. See [`Scratch::take_cap`].
+pub fn take_cap<T: Send + 'static>(cap: usize) -> Vec<T> {
+    SCRATCH.with(|s| s.borrow_mut().take_cap(cap))
+}
+
+/// Return a buffer to the current thread's pool. See [`Scratch::put`].
+pub fn put<T: Send + 'static>(v: Vec<T>) {
+    SCRATCH.with(|s| s.borrow_mut().put(v));
+}
+
+/// Take a `VecDeque<u32>` from the current thread's pool.
+pub fn take_deque_u32() -> VecDeque<u32> {
+    SCRATCH.with(|s| s.borrow_mut().take_deque_u32())
+}
+
+/// Return a `VecDeque<u32>` to the current thread's pool.
+pub fn put_deque_u32(d: VecDeque<u32>) {
+    SCRATCH.with(|s| s.borrow_mut().put_deque_u32(d));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Pooling flags are process-global; serialize tests that flip them.
+    fn locked<R>(f: impl FnOnce() -> R) -> R {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        set_poison(false);
+        let r = f();
+        set_enabled(true);
+        set_poison(false);
+        r
+    }
+
+    #[test]
+    fn take_reuses_put_capacity() {
+        locked(|| {
+            let mut s = Scratch::new();
+            let mut v: Vec<u64> = s.take();
+            v.reserve(1000);
+            let cap = v.capacity();
+            let ptr = v.as_ptr();
+            s.put(v);
+            let v2: Vec<u64> = s.take();
+            assert!(v2.is_empty());
+            assert_eq!(v2.capacity(), cap);
+            assert_eq!(v2.as_ptr(), ptr, "same allocation must come back");
+        });
+    }
+
+    #[test]
+    fn pools_are_per_type() {
+        locked(|| {
+            let mut s = Scratch::new();
+            let mut a: Vec<u32> = s.take_cap(16);
+            a.push(7);
+            s.put(a);
+            // A different type gets its own pool, not a transmuted buffer.
+            let b: Vec<f64> = s.take();
+            assert!(b.is_empty());
+            assert_eq!(b.capacity(), 0);
+            let a2: Vec<u32> = s.take();
+            assert!(a2.is_empty());
+            assert!(a2.capacity() >= 16);
+        });
+    }
+
+    #[test]
+    fn disabled_pooling_always_returns_fresh() {
+        locked(|| {
+            set_enabled(false);
+            let mut s = Scratch::new();
+            let v: Vec<u8> = s.take_cap(64);
+            s.put(v);
+            let v2: Vec<u8> = s.take();
+            assert_eq!(v2.capacity(), 0, "disabled pool must not retain");
+        });
+    }
+
+    #[test]
+    fn poison_fills_spare_capacity() {
+        locked(|| {
+            set_poison(true);
+            let mut s = Scratch::new();
+            let mut v: Vec<u8> = s.take_cap(32);
+            v.extend_from_slice(&[1, 2, 3]);
+            s.put(v);
+            let mut v2: Vec<u8> = s.take();
+            assert!(v2.is_empty());
+            // SAFETY (test only): read the poisoned tail as raw bytes.
+            let spare = v2.spare_capacity_mut();
+            let all_sentinel = spare.iter().all(|b| unsafe { b.as_ptr().read() } == 0xA5);
+            assert!(all_sentinel, "spare capacity must be poisoned");
+        });
+    }
+
+    #[test]
+    fn thread_local_pool_round_trips() {
+        locked(|| {
+            let v: Vec<u16> = take_cap(128);
+            let cap = v.capacity();
+            put(v);
+            let v2: Vec<u16> = take();
+            assert!(v2.capacity() >= cap.min(128));
+            put(v2);
+            let d = take_deque_u32();
+            put_deque_u32(d);
+        });
+    }
+}

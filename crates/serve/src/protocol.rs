@@ -262,6 +262,18 @@ pub enum LineRead {
     Oversized,
 }
 
+/// Status of one [`read_request_line_into`] call; on `Line` the bytes
+/// live in the caller's buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineStatus {
+    /// A complete line was read into the buffer (terminator stripped).
+    Line,
+    /// Clean end of stream; the buffer holds any truncated trailing bytes.
+    Eof,
+    /// The line exceeded the byte bound before a `\n` arrived.
+    Oversized,
+}
+
 /// Reads one `\n`-terminated line of at most `max_bytes` bytes.
 ///
 /// The bound is enforced *while reading*: an attacker streaming an endless
@@ -269,6 +281,24 @@ pub enum LineRead {
 /// (including read timeouts) surface as `Err`.
 pub fn read_request_line<R: BufRead>(reader: &mut R, max_bytes: usize) -> io::Result<LineRead> {
     let mut line = Vec::new();
+    Ok(
+        match read_request_line_into(reader, max_bytes, &mut line)? {
+            LineStatus::Line => LineRead::Line(String::from_utf8_lossy(&line).into_owned()),
+            LineStatus::Eof => LineRead::Eof,
+            LineStatus::Oversized => LineRead::Oversized,
+        },
+    )
+}
+
+/// [`read_request_line`] into a caller-owned buffer (cleared first), so a
+/// connection serving many requests reuses one line buffer at its
+/// high-water capacity instead of allocating per request.
+pub fn read_request_line_into<R: BufRead>(
+    reader: &mut R,
+    max_bytes: usize,
+    line: &mut Vec<u8>,
+) -> io::Result<LineStatus> {
+    line.clear();
     loop {
         let buf = match reader.fill_buf() {
             Ok(b) => b,
@@ -278,26 +308,26 @@ pub fn read_request_line<R: BufRead>(reader: &mut R, max_bytes: usize) -> io::Re
         if buf.is_empty() {
             // EOF. A partial trailing line (truncated request) is dropped:
             // there is no one left to answer.
-            return Ok(LineRead::Eof);
+            return Ok(LineStatus::Eof);
         }
         match buf.iter().position(|&b| b == b'\n') {
             Some(pos) => {
                 if line.len() + pos > max_bytes {
                     reader.consume(pos + 1);
-                    return Ok(LineRead::Oversized);
+                    return Ok(LineStatus::Oversized);
                 }
                 line.extend_from_slice(&buf[..pos]);
                 reader.consume(pos + 1);
                 if line.last() == Some(&b'\r') {
                     line.pop();
                 }
-                return Ok(LineRead::Line(String::from_utf8_lossy(&line).into_owned()));
+                return Ok(LineStatus::Line);
             }
             None => {
                 let len = buf.len();
                 if line.len() + len > max_bytes {
                     reader.consume(len);
-                    return Ok(LineRead::Oversized);
+                    return Ok(LineStatus::Oversized);
                 }
                 line.extend_from_slice(buf);
                 reader.consume(len);

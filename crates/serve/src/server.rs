@@ -392,14 +392,18 @@ fn handle_connection(stream: TcpStream, shared: &Shared, busy: &AtomicBool) {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
+    // One line buffer per connection: a warm session replaying thousands of
+    // deltas reuses it at its high-water capacity instead of allocating a
+    // fresh Vec + String per request.
+    let mut line_buf: Vec<u8> = Vec::new();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let line = match read_request_line(&mut reader, shared.cfg.max_line_bytes) {
-            Ok(LineRead::Line(l)) => l,
-            Ok(LineRead::Eof) => break,
-            Ok(LineRead::Oversized) => {
+        match read_request_line_into(&mut reader, shared.cfg.max_line_bytes, &mut line_buf) {
+            Ok(LineStatus::Line) => {}
+            Ok(LineStatus::Eof) => break,
+            Ok(LineStatus::Oversized) => {
                 shared.errors.fetch_add(1, Ordering::Relaxed);
                 mdg_obs::counter("serve/errors/oversized").add(1);
                 let resp = ErrorResponse::new(
@@ -414,7 +418,9 @@ fn handle_connection(stream: TcpStream, shared: &Shared, busy: &AtomicBool) {
             }
             // Read timeout or disconnect mid-line: nothing to answer.
             Err(_) => break,
-        };
+        }
+        // Borrowed Cow in the valid-UTF-8 common case — no copy.
+        let line = String::from_utf8_lossy(&line_buf);
         if line.trim().is_empty() {
             continue;
         }
@@ -675,8 +681,10 @@ fn handle_delta(req: &Request, shared: &Shared) -> Result<String, HandlerError> 
                 format!("no session named `{field}` (create it with `plan`)"),
             )
         })?;
-    let died = req.died.clone().unwrap_or_default();
-    let added = req.added.clone().unwrap_or_default();
+    // Borrow the request's own slices — no per-delta clone of the died /
+    // added lists (at n=1M churn these are the largest request payloads).
+    let died: &[u64] = req.died.as_deref().unwrap_or(&[]);
+    let added = req.added.as_deref().unwrap_or(&[]);
     let mut session = lock_unpoisoned(&session);
     if session.alive().len() + added.len() > shared.cfg.max_sensors {
         return Err(bad_request(format!(
@@ -684,7 +692,7 @@ fn handle_delta(req: &Request, shared: &Shared) -> Result<String, HandlerError> 
             shared.cfg.max_sensors
         )));
     }
-    let outcome = match session.apply_delta(&died, &added, req.range) {
+    let outcome = match session.apply_delta(died, added, req.range) {
         Ok(outcome) => outcome,
         // Rejected during validation: the session is untouched and stays.
         Err(DeltaError::Invalid(msg)) => return Err(bad_request(msg)),

@@ -56,21 +56,26 @@ impl NeighborLists {
         let cell = (area / n as f64).sqrt().max(1e-9);
         let grid = SpatialGrid::build(points, cell);
         // Each city's list is an independent grid query, so the k-NN
-        // builds parallelize trivially; concatenating fixed blocks in
-        // order keeps `flat` identical to the sequential build.
-        let mut flat = Vec::with_capacity(n * stride);
+        // builds parallelize trivially; every block writes its cities'
+        // rows straight into the (exactly sized) output, so the result is
+        // identical to the sequential build and the only allocation is
+        // `flat` itself. Query scratch comes from the worker's pool.
+        let mut flat = vec![0u32; n * stride];
         const CITY_BLOCK: usize = 512;
-        for part in mdg_par::par_chunks(n, CITY_BLOCK, |cities| {
-            let mut part = Vec::with_capacity(cities.len() * stride);
-            for i in cities {
-                let knn = grid.k_nearest(points[i], stride, Some(i as u32));
+        mdg_par::par_chunks_mut(&mut flat, CITY_BLOCK * stride, |start, rows| {
+            debug_assert_eq!(start % stride, 0);
+            debug_assert_eq!(rows.len() % stride, 0);
+            let mut hits: Vec<(f64, u32)> = mdg_par::scratch::take();
+            let mut knn: Vec<u32> = mdg_par::scratch::take_cap(stride);
+            for (c, row) in rows.chunks_exact_mut(stride).enumerate() {
+                let i = start / stride + c;
+                grid.k_nearest_into(points[i], stride, Some(i as u32), &mut hits, &mut knn);
                 debug_assert_eq!(knn.len(), stride);
-                part.extend_from_slice(&knn);
+                row.copy_from_slice(&knn);
             }
-            part
-        }) {
-            flat.extend_from_slice(&part);
-        }
+            mdg_par::scratch::put(hits);
+            mdg_par::scratch::put(knn);
+        });
         NeighborLists { stride, flat }
     }
 
@@ -84,6 +89,52 @@ impl NeighborLists {
     pub fn k(&self) -> usize {
         self.stride
     }
+}
+
+/// Builds the initial work queue and queued-bit vector from `seeds`
+/// (`None` = every city, in tour order), drawing both buffers from the
+/// thread's scratch pool — the passes run once per tile per delta in the
+/// hierarchical planner, so their working set is worth reusing. Callers
+/// return both via [`release_queue`] when the pass ends.
+fn seed_queue(order: &[usize], seeds: Option<&[usize]>) -> (VecDeque<u32>, Vec<bool>) {
+    let n = order.len();
+    let mut queue = mdg_par::scratch::take_deque_u32();
+    let mut queued: Vec<bool> = mdg_par::scratch::take_cap(n);
+    queued.resize(n, false);
+    match seeds {
+        None => {
+            for &c in order {
+                queued[c] = true;
+                queue.push_back(c as u32);
+            }
+        }
+        Some(cities) => {
+            for &c in cities {
+                if c < n && !queued[c] {
+                    queued[c] = true;
+                    queue.push_back(c as u32);
+                }
+            }
+        }
+    }
+    (queue, queued)
+}
+
+/// Returns the buffers from [`seed_queue`] to the thread's scratch pool.
+fn release_queue(queue: VecDeque<u32>, queued: Vec<bool>) {
+    mdg_par::scratch::put_deque_u32(queue);
+    mdg_par::scratch::put(queued);
+}
+
+/// Takes a position vector (`pos[city] = index in order`) from the
+/// thread's scratch pool, sized and filled for `order`.
+fn take_pos(order: &[usize]) -> Vec<u32> {
+    let mut pos: Vec<u32> = mdg_par::scratch::take_cap(order.len());
+    pos.resize(order.len(), 0);
+    for (p, &c) in order.iter().enumerate() {
+        pos[c] = p as u32;
+    }
+    pos
 }
 
 /// Reverses the cyclic segment running forward from position `from` to
@@ -130,25 +181,9 @@ fn two_opt_neighbors_pass(
     let mut moves = 0u64;
     // The queue holds cities with their don't-look bit cleared; a city is
     // re-examined only after a move touches its tour neighborhood.
-    let mut queue: VecDeque<usize>;
-    let mut queued;
-    match seeds {
-        None => {
-            queue = order.iter().copied().collect();
-            queued = vec![true; n];
-        }
-        Some(cities) => {
-            queue = VecDeque::with_capacity(cities.len());
-            queued = vec![false; n];
-            for &c in cities {
-                if c < n && !queued[c] {
-                    queued[c] = true;
-                    queue.push_back(c);
-                }
-            }
-        }
-    }
+    let (mut queue, mut queued) = seed_queue(order, seeds);
     while let Some(a) = queue.pop_front() {
+        let a = a as usize;
         queued[a] = false;
         let mut moved = true;
         while moved {
@@ -193,7 +228,7 @@ fn two_opt_neighbors_pass(
                         for city in [a, b, c, d] {
                             if !queued[city] {
                                 queued[city] = true;
-                                queue.push_back(city);
+                                queue.push_back(city as u32);
                             }
                         }
                         moved = true;
@@ -206,6 +241,7 @@ fn two_opt_neighbors_pass(
             }
         }
     }
+    release_queue(queue, queued);
     mdg_obs::counter("improve/two_opt_moves").add(moves);
     total_gain
 }
@@ -233,26 +269,10 @@ fn or_opt_neighbors_pass(
         return 0.0;
     }
     let max_segment = max_segment.min(n - 2).max(1);
-    let mut queue: VecDeque<usize>;
-    let mut queued;
-    match seeds {
-        None => {
-            queue = order.iter().copied().collect();
-            queued = vec![true; n];
-        }
-        Some(cities) => {
-            queue = VecDeque::with_capacity(cities.len());
-            queued = vec![false; n];
-            for &c in cities {
-                if c < n && !queued[c] {
-                    queued[c] = true;
-                    queue.push_back(c);
-                }
-            }
-        }
-    }
+    let (mut queue, mut queued) = seed_queue(order, seeds);
     let mut moves = 0u64;
     'cities: while let Some(first) = queue.pop_front() {
+        let first = first as usize;
         queued[first] = false;
         for seg_len in 1..=max_segment {
             let start = pos[first] as usize;
@@ -286,7 +306,8 @@ fn or_opt_neighbors_pass(
                 let (ins_cost, reversed) = if fw <= rv { (fw, false) } else { (rv, true) };
                 let gain = removal_gain - ins_cost;
                 if gain > min_gain {
-                    let mut seg: Vec<usize> = order.drain(start..start + seg_len).collect();
+                    let mut seg: Vec<usize> = mdg_par::scratch::take();
+                    seg.extend(order.drain(start..start + seg_len));
                     if reversed {
                         seg.reverse();
                     }
@@ -294,9 +315,10 @@ fn or_opt_neighbors_pass(
                         .iter()
                         .position(|&c| c == e)
                         .expect("anchor survives removal");
-                    for (k, c) in seg.into_iter().enumerate() {
+                    for (k, &c) in seg.iter().enumerate() {
                         order.insert(anchor + 1 + k, c);
                     }
+                    mdg_par::scratch::put(seg);
                     for (p, &c) in order.iter().enumerate() {
                         pos[c] = p as u32;
                     }
@@ -305,19 +327,20 @@ fn or_opt_neighbors_pass(
                     for city in [prev, first, last, next, e, f] {
                         if !queued[city] {
                             queued[city] = true;
-                            queue.push_back(city);
+                            queue.push_back(city as u32);
                         }
                     }
                     // Re-examine this city from scratch.
                     if !queued[first] {
                         queued[first] = true;
-                        queue.push_back(first);
+                        queue.push_back(first as u32);
                     }
                     continue 'cities;
                 }
             }
         }
     }
+    release_queue(queue, queued);
     mdg_obs::counter("improve/or_opt_moves").add(moves);
     total_gain
 }
@@ -327,11 +350,9 @@ fn or_opt_neighbors_pass(
 /// [`two_opt`](crate::improve::two_opt). Never lengthens the tour.
 pub fn two_opt_neighbors(points: &[Point], tour: Tour, nl: &NeighborLists, min_gain: f64) -> Tour {
     let mut order = tour.into_order();
-    let mut pos = vec![0u32; order.len()];
-    for (p, &c) in order.iter().enumerate() {
-        pos[c] = p as u32;
-    }
+    let mut pos = take_pos(&order);
     two_opt_neighbors_pass(points, nl, &mut order, &mut pos, min_gain, None);
+    mdg_par::scratch::put(pos);
     Tour::from_order_unchecked(order).normalized()
 }
 
@@ -353,11 +374,9 @@ pub fn two_opt_neighbors_seeded(
     seeds: &[usize],
 ) -> Tour {
     let mut order = tour.into_order();
-    let mut pos = vec![0u32; order.len()];
-    for (p, &c) in order.iter().enumerate() {
-        pos[c] = p as u32;
-    }
+    let mut pos = take_pos(&order);
     two_opt_neighbors_pass(points, nl, &mut order, &mut pos, min_gain, Some(seeds));
+    mdg_par::scratch::put(pos);
     Tour::from_order_unchecked(order).normalized()
 }
 
@@ -380,10 +399,7 @@ pub fn or_opt_neighbors_seeded(
     seeds: &[usize],
 ) -> Tour {
     let mut order = tour.into_order();
-    let mut pos = vec![0u32; order.len()];
-    for (p, &c) in order.iter().enumerate() {
-        pos[c] = p as u32;
-    }
+    let mut pos = take_pos(&order);
     or_opt_neighbors_pass(
         points,
         nl,
@@ -393,6 +409,7 @@ pub fn or_opt_neighbors_seeded(
         min_gain,
         Some(seeds),
     );
+    mdg_par::scratch::put(pos);
     Tour::from_order_unchecked(order).normalized()
 }
 
@@ -426,10 +443,7 @@ pub fn improve_neighbors(
     let n = order.len();
     let mut sp = mdg_obs::span("improve");
     sp.add_items(n as u64);
-    let mut pos = vec![0u32; n];
-    for (p, &c) in order.iter().enumerate() {
-        pos[c] = p as u32;
-    }
+    let mut pos = take_pos(&order);
     for _ in 0..cfg.max_passes {
         let g1 = two_opt_neighbors_pass(points, nl, &mut order, &mut pos, cfg.min_gain, None);
         let g2 = or_opt_neighbors_pass(
@@ -445,6 +459,7 @@ pub fn improve_neighbors(
             break;
         }
     }
+    mdg_par::scratch::put(pos);
     Tour::from_order_unchecked(order).normalized()
 }
 

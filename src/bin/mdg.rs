@@ -3,7 +3,7 @@
 //! ```text
 //! mdg plan     --n 200 --side 200 --range 30 [--seed 42] [--cap K]
 //!              [--greedy] [--hier] [--tile-cells F] [--out bundle.json]
-//!              [--profile] [--profile-json PATH]
+//!              [--profile] [--profile-json PATH] [--count-allocs]
 //! mdg fleet    --bundle bundle.json (--k K | --deadline SECS)
 //!              [--speed M/S] [--upload SECS] [--out fleet.json]
 //! mdg simulate --bundle bundle.json [--speed M/S] [--upload SECS]
@@ -78,7 +78,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   mdg plan     --n N --side METERS --range METERS [--seed S] [--cap K] [--greedy] [--threads T]
                [--hier] [--no-hier] [--hier-threshold N] [--tile-cells F] [--out bundle.json]
-               [--profile] [--profile-json PATH]
+               [--profile] [--profile-json PATH] [--count-allocs]
   mdg fleet    --bundle bundle.json (--k K | --deadline SECS) [--speed M/S] [--upload SECS] [--out fleet.json]
   mdg simulate --bundle bundle.json [--speed M/S] [--upload SECS] [--battery JOULES]
   mdg runtime  --n N --side METERS --range METERS [--seed S] [--rounds R] [--deaths RATE]
@@ -93,6 +93,7 @@ const USAGE: &str = "usage:
   mdg stats    --n N --side METERS --range METERS [--seed S]
   mdg export-ilp --n N --side METERS --range METERS [--seed S] --out model.lp
   mdg serve    --listen ADDR[:PORT] [--max-sessions N] [--max-line-mb MB] [--threads T]
+               [--count-allocs]
   mdg serve    --connect ADDR:PORT --request JSON
 
 --threads T sets the planner worker-thread count (0 or omitted = auto:
@@ -104,6 +105,9 @@ stitch + seam touch-up) — the mode for 100k+ sensors. Fields above
 tile side to F × range (omitted = auto-sized by density).
 --profile prints a per-phase timing tree on stderr; --profile-json PATH
 writes the same data as JSONL. Profiling never changes results.
+--count-allocs (or MDG_COUNT_ALLOC=1) tallies heap allocations and
+appends alloc=<count>/<MiB> to the stderr timing lines; combined with
+--profile the tree gains per-phase alloc columns. Never changes plans.
 replay re-runs a recorded trace bundle (from `runtime --trace`) under an
 alternate repair policy and reports per-round divergences; --self-check
 verifies the original policy reproduces the recording byte-for-byte, and
@@ -136,6 +140,31 @@ fn apply_profile(flags: &Flags) -> bool {
         mobile_collectors::obs::set_enabled(true);
     }
     on
+}
+
+/// Turns the counting allocator on when `--count-allocs` is present (the
+/// `MDG_COUNT_ALLOC` env var works too, so tests and CI can reach child
+/// processes). Returns whether counting is now on.
+fn apply_alloc_counting(flags: &Flags) -> bool {
+    if flags.contains_key("count-allocs") {
+        mobile_collectors::obs::alloc::set_counting(true);
+    }
+    mobile_collectors::obs::alloc::counting_from_env()
+}
+
+/// ` alloc=<count>/<MiB>` suffix for stderr timing lines: the allocation
+/// count and bytes since `base`. Empty when counting is off, so the
+/// timing lines stay byte-stable for existing consumers.
+fn alloc_suffix(base: &mobile_collectors::obs::alloc::AllocTotals) -> String {
+    if !mobile_collectors::obs::alloc::counting() {
+        return String::new();
+    }
+    let d = mobile_collectors::obs::alloc::totals().since(base);
+    format!(
+        " alloc={}/{:.1}MiB",
+        d.count,
+        d.bytes as f64 / (1024.0 * 1024.0)
+    )
 }
 
 /// Emits the recorded profile: the summary tree on stderr for `--profile`,
@@ -222,6 +251,8 @@ fn cmd_plan(flags: &Flags) -> Result<(), String> {
     let seed: u64 = opt(flags, "seed", 42)?;
     let threads = apply_threads(flags)?;
     let profiling = apply_profile(flags);
+    apply_alloc_counting(flags);
+    let alloc_base = mobile_collectors::obs::alloc::totals();
     let deployment = DeploymentConfig::uniform(n, side).generate(seed);
     let network = Network::build(deployment.clone(), range);
 
@@ -284,7 +315,10 @@ fn cmd_plan(flags: &Flags) -> Result<(), String> {
         n
     );
     // Timing goes to stderr: stdout stays byte-deterministic per seed.
-    eprintln!("  planning time  : {plan_ms:.1} ms ({threads} threads)");
+    eprintln!(
+        "  planning time  : {plan_ms:.1} ms ({threads} threads){}",
+        alloc_suffix(&alloc_base)
+    );
     if let Some(s) = hier_stats {
         println!(
             "  tiles          : {} occupied / {} total, {:.0} m side, {} spliced stop(s)",
@@ -680,6 +714,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
                 return Err("--listen needs an address, e.g. 127.0.0.1:7717".into());
             }
             let threads = apply_threads(flags)?;
+            apply_alloc_counting(flags);
+            let alloc_base = mobile_collectors::obs::alloc::totals();
             let cfg = mobile_collectors::serve::ServeConfig {
                 addr: addr.clone(),
                 max_sessions: opt(flags, "max-sessions", 64)?,
@@ -693,7 +729,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             println!("listening on {}", server.local_addr());
             eprintln!("  {threads} planner thread(s); send {{\"cmd\":\"shutdown\"}} to stop");
             server.join();
-            eprintln!("drained; bye");
+            eprintln!("drained; bye{}", alloc_suffix(&alloc_base));
             Ok(())
         }
         (None, Some(addr)) => {

@@ -353,6 +353,50 @@ fn plan_profile_prints_a_phase_tree_on_stderr() {
 }
 
 #[test]
+fn plan_count_allocs_annotates_timing_without_changing_stdout() {
+    let counted = mdg(&[
+        "plan",
+        "--n",
+        "150",
+        "--side",
+        "200",
+        "--range",
+        "30",
+        "--count-allocs",
+    ]);
+    assert!(counted.status.success(), "{}", stderr(&counted));
+    let err = stderr(&counted);
+    let timing = err
+        .lines()
+        .find(|l| l.contains("planning time"))
+        .unwrap_or_else(|| panic!("no timing line in: {err}"));
+    assert!(
+        timing.contains("alloc=") && timing.contains("MiB"),
+        "timing line must carry the alloc tally: {timing}"
+    );
+
+    // Counting must not leak into the deterministic stdout report, and a
+    // plain run's timing line must stay alloc-free.
+    let plain = mdg(&["plan", "--n", "150", "--side", "200", "--range", "30"]);
+    assert!(plain.status.success());
+    assert_eq!(stdout(&counted), stdout(&plain), "counting changed stdout");
+    assert!(
+        !stderr(&plain).contains("alloc="),
+        "plain run must not report allocs: {}",
+        stderr(&plain)
+    );
+
+    // The MDG_COUNT_ALLOC env var reaches the same switch (CI uses it).
+    let via_env = Command::new(env!("CARGO_BIN_EXE_mdg"))
+        .args(["plan", "--n", "150", "--side", "200", "--range", "30"])
+        .env("MDG_COUNT_ALLOC", "1")
+        .output()
+        .expect("binary runs");
+    assert!(via_env.status.success());
+    assert!(stderr(&via_env).contains("alloc="), "{}", stderr(&via_env));
+}
+
+#[test]
 fn plan_profile_json_writes_parseable_jsonl() {
     let path = tmp("profile.jsonl");
     let out = mdg(&[

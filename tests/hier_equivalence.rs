@@ -12,6 +12,10 @@
 //!
 //! Thread counts are driven through `mdg_par::set_threads`, which is
 //! process-global — every test that touches it serializes on [`lock`].
+//!
+//! The scratch-arena variant of this invariant — hier fields re-planned
+//! under pool poisoning, arenas on vs off — lives in
+//! `tests/scratch_poison.rs`.
 
 use mobile_collectors::core::{
     CoveringStrategy, GatheringPlan, HierConfig, HierPlanner, PlanMetrics, PlannerConfig,
@@ -25,7 +29,10 @@ const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 const RANGE: f64 = 30.0;
 
 /// Serializes tests around the process-global thread-count override.
+/// Also honors `MDG_COUNT_ALLOC` (CI's alloc-gate job re-runs this suite
+/// under the counting allocator — counting must never change a plan).
 fn lock() -> MutexGuard<'static, ()> {
+    mobile_collectors::obs::alloc::counting_from_env();
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
     LOCK.get_or_init(|| Mutex::new(()))
         .lock()

@@ -14,6 +14,10 @@
 //!
 //! Thread counts are driven through `mdg_par::set_threads`, which is
 //! process-global — every test that touches it serializes on [`lock`].
+//!
+//! The scratch-arena variant of this invariant — the same field set
+//! re-planned under pool poisoning, arenas on vs off — lives in
+//! `tests/scratch_poison.rs`.
 
 use mobile_collectors::core::{CoveringStrategy, GatheringPlan, PlannerConfig, ShdgPlanner};
 use mobile_collectors::net::{DeploymentConfig, Network};
@@ -23,7 +27,10 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
 /// Serializes tests around the process-global thread-count override.
+/// Also honors `MDG_COUNT_ALLOC` (CI's alloc-gate job re-runs this suite
+/// under the counting allocator — counting must never change a plan).
 fn lock() -> MutexGuard<'static, ()> {
+    mobile_collectors::obs::alloc::counting_from_env();
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
     LOCK.get_or_init(|| Mutex::new(()))
         .lock()
